@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// BenchmarkAblation_QuadThreshold sweeps the quad-tree leaf split threshold
+// |Pl|max — the paper's main tuning knob (Section 5.1): small thresholds
+// yield many shallow-enumeration leaves, large thresholds few leaves with
+// expensive within-leaf searches.
+func BenchmarkAblation_QuadThreshold(b *testing.B) {
+	ds, err := repro.GenerateDataset("IND", 1000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threshold := range []int{6, 12, 24, 48} {
+		b.Run(fmt.Sprintf("maxPartial=%d", threshold), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				focal := (i * 131) % ds.Len()
+				_, err := repro.Compute(ds, focal,
+					repro.WithAlgorithm(repro.AA),
+					repro.WithQuadTree(threshold, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_AAvsBA isolates the paper's central design choice —
+// implicit subsumption (AA) versus materialising every incomparable
+// half-space (BA) — on identical inputs.
+func BenchmarkAblation_AAvsBA(b *testing.B) {
+	ds, err := repro.GenerateDataset("IND", 800, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []repro.Algorithm{repro.AA, repro.BA} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.Compute(ds, (i*37)%ds.Len(), repro.WithAlgorithm(alg)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DirectMemory compares the paper's two storage scenarios
+// on the same queries: decode-from-page (disk-resident) versus direct
+// in-memory node access; I/O counts are identical by construction.
+func BenchmarkAblation_DirectMemory(b *testing.B) {
+	base, err := repro.GenerateDataset("IND", 2000, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]float64, base.Len())
+	for i := range rows {
+		rows[i] = base.Point(i)
+	}
+	for _, direct := range []bool{true, false} {
+		ds, err := repro.NewDataset(rows, repro.WithDirectMemory(direct))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("direct=%v", direct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.Compute(ds, (i*53)%ds.Len()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func genDS(t testing.TB, dist string, n, d int, opts ...repro.DatasetOption) *repro.Dataset {
+	t.Helper()
+	ds, err := repro.GenerateDataset(dist, n, d, 12345, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestComputeAgainstValidate(t *testing.T) {
+	ds := genDS(t, "IND", 400, 3)
+	for _, alg := range []repro.Algorithm{repro.Auto, repro.BA, repro.AA} {
+		res, err := repro.Compute(ds, 7, repro.WithAlgorithm(alg))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := repro.Validate(ds, 7, res); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Stats.Algorithm != alg && alg != repro.Auto {
+			t.Fatalf("stats report %v, want %v", res.Stats.Algorithm, alg)
+		}
+	}
+}
+
+func TestAlgorithmsAgreeOnKStar(t *testing.T) {
+	ds := genDS(t, "ANTI", 300, 2)
+	var ks []int
+	for _, alg := range []repro.Algorithm{repro.FCA, repro.BA, repro.AA} {
+		res, err := repro.Compute(ds, 42, repro.WithAlgorithm(alg))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		ks = append(ks, res.KStar)
+	}
+	if ks[0] != ks[1] || ks[1] != ks[2] {
+		t.Fatalf("k* disagreement: %v", ks)
+	}
+}
+
+func TestComputeForWhatIf(t *testing.T) {
+	ds := genDS(t, "IND", 300, 3)
+	res, err := repro.ComputeFor(ds, []float64{0.95, 0.95, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KStar != 1 {
+		t.Fatalf("a near-ideal record should reach rank 1, got %d", res.KStar)
+	}
+	if _, err := repro.ComputeFor(ds, []float64{0.5}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestTauWidensRegions(t *testing.T) {
+	ds := genDS(t, "IND", 250, 3)
+	base, err := repro.Compute(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := repro.Compute(ds, 10, repro.WithTau(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.KStar != base.KStar {
+		t.Fatalf("tau changed k*: %d vs %d", wide.KStar, base.KStar)
+	}
+	if len(wide.Regions) < len(base.Regions) {
+		t.Fatalf("tau=3 gave fewer regions (%d) than tau=0 (%d)",
+			len(wide.Regions), len(base.Regions))
+	}
+	for _, reg := range wide.Regions {
+		if reg.Rank < wide.KStar || reg.Rank > wide.KStar+3 {
+			t.Fatalf("region rank %d outside [k*, k*+3]", reg.Rank)
+		}
+	}
+	if err := repro.Validate(ds, 10, wide); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutrankIDs(t *testing.T) {
+	ds := genDS(t, "IND", 200, 3)
+	res, err := repro.Compute(ds, 3, repro.WithOutrankIDs(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal := ds.Point(3)
+	for _, reg := range res.Regions {
+		if len(reg.OutrankIDs) != reg.Order {
+			t.Fatalf("region lists %d outranking records, order is %d",
+				len(reg.OutrankIDs), reg.Order)
+		}
+		// Direct check: each listed record scores above the focal record at
+		// the witness preference.
+		fs := ds.Score(3, reg.QueryVector)
+		_ = fs
+		for _, id := range reg.OutrankIDs {
+			if ds.Score(int(id), reg.QueryVector) <= ds.Score(3, reg.QueryVector) {
+				t.Fatalf("record %d listed but does not outrank at witness", id)
+			}
+		}
+		_ = focal
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	ds := genDS(t, "IND", 150, 3)
+	res, err := repro.Compute(ds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range res.Regions {
+		if !reg.Contains(reg.Witness, 1e-9) {
+			t.Fatal("region does not contain its own witness")
+		}
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	if _, err := repro.NewDataset(nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := repro.NewDataset([][]float64{{1}}); err == nil {
+		t.Fatal("1-d dataset accepted")
+	}
+	if _, err := repro.NewDataset([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged dataset accepted")
+	}
+	if _, err := repro.GenerateDataset("XXX", 10, 2, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := repro.GenerateDataset("IND", 0, 2, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	ds := genDS(t, "IND", 50, 2)
+	if _, err := repro.Compute(ds, -1); err == nil {
+		t.Fatal("negative focal accepted")
+	}
+	if _, err := repro.Compute(ds, 50); err == nil {
+		t.Fatal("out-of-range focal accepted")
+	}
+	if _, err := repro.Compute(ds, 0, repro.WithAlgorithm(repro.FCA)); err != nil {
+		t.Fatalf("FCA at d=2 should work: %v", err)
+	}
+	ds3 := genDS(t, "IND", 50, 3)
+	if _, err := repro.Compute(ds3, 0, repro.WithAlgorithm(repro.FCA)); err == nil {
+		t.Fatal("FCA at d=3 accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]repro.Algorithm{
+		"auto": repro.Auto, "FCA": repro.FCA, "ba": repro.BA, "AA": repro.AA,
+	} {
+		got, err := repro.ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := repro.ParseAlgorithm("zzz"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if !strings.Contains(repro.AA.String(), "AA") {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestInsertBuildMatchesBulk(t *testing.T) {
+	// The same data indexed by R* insertion vs STR bulk loading must give
+	// identical query answers.
+	pts := make([][]float64, 0, 300)
+	dsBulk := genDS(t, "COR", 300, 3)
+	for i := 0; i < dsBulk.Len(); i++ {
+		pts = append(pts, dsBulk.Point(i))
+	}
+	dsIns, err := repro.NewDataset(pts, repro.WithInsertBuild(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, focal := range []int{0, 50, 299} {
+		a, err := repro.Compute(dsBulk, focal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := repro.Compute(dsIns, focal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.KStar != b.KStar || a.Dominators != b.Dominators {
+			t.Fatalf("focal %d: bulk (k*=%d) vs insert (k*=%d) disagree", focal, a.KStar, b.KStar)
+		}
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	ds := genDS(t, "IND", 2000, 3)
+	ds.ResetIO()
+	if ds.IOReads() != 0 {
+		t.Fatal("reset did not zero IO")
+	}
+	res, err := repro.Compute(ds, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IO <= 0 {
+		t.Fatal("query reported no I/O")
+	}
+	if ds.IOReads() < res.Stats.IO {
+		t.Fatal("dataset counter below query counter")
+	}
+}
+
+func TestRankOfConsistency(t *testing.T) {
+	ds := genDS(t, "IND", 100, 3)
+	res, err := repro.Compute(ds, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	q := res.Regions[0].QueryVector
+	if got := ds.RankOf(ds.Point(11), q); got != res.KStar {
+		t.Fatalf("RankOf = %d, k* = %d", got, res.KStar)
+	}
+}

@@ -1,0 +1,188 @@
+package repro_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+func TestTopKMatchesDirectScoring(t *testing.T) {
+	ds := genDS(t, "IND", 2000, 3)
+	q := []float64{0.5, 0.3, 0.2}
+	for _, k := range []int{1, 5, 25, 100} {
+		got, err := ds.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("k=%d: %d results", k, len(got))
+		}
+		// Direct scoring oracle.
+		type scored struct {
+			idx   int
+			score float64
+		}
+		all := make([]scored, ds.Len())
+		for i := range all {
+			all[i] = scored{i, ds.Score(i, q)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+		prev := all[0].score + 1
+		for rank, id := range got {
+			s := ds.Score(int(id), q)
+			if s > prev {
+				t.Fatalf("k=%d: results not in descending score order", k)
+			}
+			prev = s
+			// Scores must match the oracle's rank-th score (IDs may differ
+			// only under exact ties).
+			if s != all[rank].score {
+				t.Fatalf("k=%d rank %d: score %g, oracle %g", k, rank, s, all[rank].score)
+			}
+		}
+	}
+}
+
+func TestTopKErrors(t *testing.T) {
+	ds := genDS(t, "IND", 100, 3)
+	if _, err := ds.TopK([]float64{0.5, 0.5}, 3); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := ds.TopK([]float64{0.3, 0.3, 0.4}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTopKConsistentWithMaxRank(t *testing.T) {
+	// At any region witness, a top-k* query must include the focal record.
+	ds := genDS(t, "ANTI", 500, 3)
+	focal := 77
+	res, err := repro.Compute(ds, focal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range res.Regions {
+		top, err := ds.TopK(reg.QueryVector, res.KStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range top {
+			if id == int64(focal) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("focal %d missing from top-%d at its own witness", focal, res.KStar)
+		}
+	}
+}
+
+func TestReverseTopK(t *testing.T) {
+	ds := genDS(t, "IND", 400, 2)
+	focal := 13
+	res, err := repro.Compute(ds, focal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below k*: empty.
+	below, err := repro.ReverseTopK(ds, focal, res.KStar-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(below) != 0 {
+		t.Fatalf("reverse top-(k*-1) returned %d regions", len(below))
+	}
+	// At k*: non-empty, and every region witness has the focal in top-k*.
+	at, err := repro.ReverseTopK(ds, focal, res.KStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at) == 0 {
+		t.Fatal("reverse top-k* empty")
+	}
+	for _, reg := range at {
+		if got := ds.RankOf(ds.Point(focal), reg.QueryVector); got > res.KStar {
+			t.Fatalf("witness rank %d > k %d", got, res.KStar)
+		}
+		if reg.Rank > res.KStar {
+			t.Fatalf("region reports worst rank %d > k", reg.Rank)
+		}
+	}
+	// Wider k: at least as much coverage (total interval length grows).
+	wide, err := repro.ReverseTopK(ds, focal, res.KStar+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coverage(wide) < coverage(at)-1e-12 {
+		t.Fatalf("coverage shrank when k grew: %g vs %g", coverage(wide), coverage(at))
+	}
+	// Errors.
+	if _, err := repro.ReverseTopK(ds, focal, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := repro.ReverseTopK(ds, -1, 5); err == nil {
+		t.Fatal("bad focal accepted")
+	}
+	ds3 := genDS(t, "IND", 50, 3)
+	if _, err := repro.ReverseTopK(ds3, 0, 5); err == nil {
+		t.Fatal("d=3 accepted")
+	}
+}
+
+func coverage(regions []repro.Region) float64 {
+	var total float64
+	for _, r := range regions {
+		total += r.BoxHi[0] - r.BoxLo[0]
+	}
+	return total
+}
+
+// TestReverseTopKMatchesSweep cross-checks region membership by sampling.
+func TestReverseTopKMatchesSweep(t *testing.T) {
+	ds := genDS(t, "ANTI", 300, 2)
+	focal := 42
+	res, err := repro.Compute(ds, focal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.KStar + 5
+	regions, err := repro.ReverseTopK(ds, focal, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ds.Point(focal)
+	for i := 1; i < 200; i++ {
+		q1 := float64(i) / 200
+		q := []float64{q1, 1 - q1}
+		inTopK := ds.RankOf(rec, q) <= k
+		covered := false
+		for _, reg := range regions {
+			if q1 > reg.BoxLo[0]+1e-12 && q1 < reg.BoxHi[0]-1e-12 {
+				covered = true
+				break
+			}
+		}
+		// Skip points on region boundaries (ambiguous by construction).
+		onBoundary := false
+		for _, reg := range regions {
+			if abs(q1-reg.BoxLo[0]) < 1e-9 || abs(q1-reg.BoxHi[0]) < 1e-9 {
+				onBoundary = true
+			}
+		}
+		if onBoundary {
+			continue
+		}
+		if inTopK != covered {
+			t.Fatalf("q1=%g: inTopK=%v covered=%v", q1, inTopK, covered)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

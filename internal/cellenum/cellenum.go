@@ -1,0 +1,501 @@
+package cellenum
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vecmath"
+)
+
+// Cell is a non-empty arrangement cell found inside a leaf.
+type Cell struct {
+	// In lists the indices (into the leaf's partial set) of half-spaces
+	// containing the cell, including forced ones; its length is the cell's
+	// p-order.
+	In []int
+	// Witness is a point strictly inside the cell.
+	Witness vecmath.Point
+	// Margin is the interior margin achieved at Witness (0 when the witness
+	// came from sampling rather than the margin LP).
+	Margin float64
+}
+
+// POrder returns the cell's p-order.
+func (c *Cell) POrder() int { return len(c.In) }
+
+// Config tunes the enumeration.
+type Config struct {
+	// MaxWeight is a hard cap on the p-order of returned cells. Negative
+	// means "no cap". NOTE: the zero value is a real cap ("weight-0 cells
+	// only"); callers that want everything must pass -1.
+	MaxWeight int
+	// Extra enumerates this many Hamming weights beyond the first weight
+	// with a non-empty cell (τ for iMaxRank; 0 reproduces plain MaxRank).
+	Extra int
+	// CandidateLimit aborts pathological leaves: when the number of
+	// bit-strings surviving pruning exceeds this, enumeration stops and
+	// Result.Truncated is set. Zero means DefaultCandidateLimit.
+	CandidateLimit int
+	// Samples is the number of random interior points used to pre-classify
+	// cells and pairwise conditions without LPs (0 = DefaultSamples).
+	Samples int
+	// Seed makes sampling deterministic (useful in tests).
+	Seed int64
+}
+
+// DefaultCandidateLimit bounds surviving candidates per leaf.
+const DefaultCandidateLimit = 1 << 21
+
+// DefaultSamples is the default random-sample count per leaf.
+const DefaultSamples = 48
+
+// binaryConditionThreshold is the minimum active |Pl| at which computing
+// the pairwise binary-condition table is worthwhile.
+const binaryConditionThreshold = 8
+
+// Result is the outcome of within-leaf processing.
+type Result struct {
+	Cells []Cell
+	// MinWeight is the smallest p-order (counting forced half-spaces) with
+	// a non-empty cell, or -1 if none was found under the configured caps.
+	MinWeight int
+	// Forced lists partial half-spaces that contain the leaf's entire
+	// domain-restricted extent (box ∩ simplex): they behave like additional
+	// |Fl| members and are included in every cell's In set.
+	Forced []int
+	// CompleteUpTo is the highest weight (counting forced) through which
+	// enumeration ran exhaustively; results are complete for any bound at
+	// or below it.
+	CompleteUpTo int
+	// MaxPossibleWeight is the largest weight any cell in this leaf can
+	// have (|Forced| + active half-spaces); CompleteUpTo >= MaxPossibleWeight
+	// means the leaf was enumerated exhaustively.
+	MaxPossibleWeight int
+	// LPCalls counts feasibility tests.
+	LPCalls int
+	// Pruned counts bit-strings rejected without an LP.
+	Pruned int
+	// SampleHits counts cells certified non-empty by sampling alone.
+	SampleHits int
+	// Truncated indicates the candidate limit was hit; results may be
+	// incomplete (callers must treat this leaf conservatively).
+	Truncated bool
+}
+
+// Enumerate finds the non-empty cells of the arrangement of the partial
+// half-spaces within the leaf box (restricted to the domain simplex), in
+// increasing p-order, per Section 5.2 of the paper: bit-strings in
+// increasing Hamming weight, pairwise binary conditions to skip provably
+// empty combinations, and half-space intersection (LP) for the rest.
+//
+// Beyond the paper, random interior samples certify many combinations
+// non-empty without any LP, and half-spaces that fully cover or fully miss
+// box ∩ simplex are factored out of the combinatorial search up front.
+func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
+	limit := cfg.CandidateLimit
+	if limit <= 0 {
+		limit = DefaultCandidateLimit
+	}
+	nSamples := cfg.Samples
+	if nSamples <= 0 {
+		// Scale with leaf density: in crowded leaves each extra sample
+		// certifies many pairwise combinations that would otherwise each
+		// cost an LP in the condition table.
+		nSamples = DefaultSamples
+		if 3*len(partial) > nSamples {
+			nSamples = 3 * len(partial)
+		}
+	}
+	res := Result{MinWeight: -1, CompleteUpTo: -1, MaxPossibleWeight: len(partial)}
+
+	// Fixed constraints: the leaf box and the domain simplex boundary
+	// (axis bounds q_i > 0 are implied by box ⊆ [0,1]^dr).
+	fixed := geom.BoxConstraints(box)
+	fixed = append(fixed, sumConstraint(box.Dim()))
+
+	// A leaf whose box misses the open simplex has no cells at all.
+	res.LPCalls++
+	anchor, _, ok := geom.FeasibleInterior(fixed)
+	if !ok {
+		res.CompleteUpTo = len(partial)
+		return res
+	}
+
+	// Classify each half-space against box ∩ simplex: "forced" ones cover
+	// it entirely (they act like |Fl| members), dead ones miss it entirely.
+	active := make([]int, 0, len(partial)) // original indices still in play
+	probe := make([]geom.Halfspace, 0, len(fixed)+1)
+	for i, h := range partial {
+		probe = append(probe[:0], fixed...)
+		res.LPCalls++
+		if _, _, ok := geom.FeasibleInterior(append(probe, h.Complement())); !ok {
+			res.Forced = append(res.Forced, i)
+			continue
+		}
+		probe = append(probe[:0], fixed...)
+		res.LPCalls++
+		if _, _, ok := geom.FeasibleInterior(append(probe, h)); !ok {
+			continue // dead: no cell in this leaf lies inside h
+		}
+		active = append(active, i)
+	}
+	m := len(active)
+	nForced := len(res.Forced)
+	res.MaxPossibleWeight = nForced + m
+
+	maxW := nForced + m
+	if cfg.MaxWeight >= 0 && cfg.MaxWeight < maxW {
+		maxW = cfg.MaxWeight
+	}
+	if maxW < nForced {
+		// Even the emptiest cell carries all forced half-spaces: nothing
+		// can satisfy the cap.
+		res.CompleteUpTo = maxW
+		return res
+	}
+
+	// Sample interior points; each sample's bit pattern certifies one cell
+	// non-empty and feeds the pairwise-condition tables.
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x9e3779b9))
+	samples := drawSamples(rng, box, anchor, nSamples)
+	type sampleCell struct {
+		witness vecmath.Point
+		weight  int
+	}
+	known := make(map[string]sampleCell)
+	patterns := make([]Bitset, 0, len(samples))
+	for _, s := range samples {
+		bits := NewBitset(m)
+		w := 0
+		for ai, oi := range active {
+			if partial[oi].Contains(s) {
+				bits.Set(ai)
+				w++
+			}
+		}
+		patterns = append(patterns, bits)
+		key := bits.Key()
+		if _, seen := known[key]; !seen {
+			known[key] = sampleCell{witness: s, weight: w}
+		}
+	}
+
+	var cond *binaryConditions
+	if m >= binaryConditionThreshold {
+		cond = buildBinaryConditions(partial, active, patterns, fixed, &res)
+	}
+
+	// mkCell materialises a cell from an active-index bitset.
+	mkCell := func(bits Bitset, witness vecmath.Point, margin float64) Cell {
+		in := make([]int, 0, nForced+bits.Count())
+		in = append(in, res.Forced...)
+		for ai, oi := range active {
+			if bits.Get(ai) {
+				in = append(in, oi)
+			}
+		}
+		return Cell{In: in, Witness: witness, Margin: margin}
+	}
+
+	cons := make([]geom.Halfspace, 0, len(fixed)+m)
+	stopW := maxW
+	candidates := 0
+	// Enumerate active-set Hamming weights aw; total weight = nForced + aw.
+	for aw := 0; nForced+aw <= stopW && aw <= m; aw++ {
+		if tooManyCombinations(m, aw, limit-candidates) {
+			res.Truncated = true
+			return res
+		}
+		found := false
+		abort := false
+		forEachSubsetDFS(m, aw, cond, func(sel []int, bits Bitset) bool {
+			candidates++
+			if candidates > limit {
+				abort = true
+				return false
+			}
+			if cond != nil && !cond.completeOK(bits, m) {
+				res.Pruned++
+				return true
+			}
+			if sc, ok := known[bits.Key()]; ok {
+				res.SampleHits++
+				res.Cells = append(res.Cells, mkCell(bits, sc.witness, 0))
+				found = true
+				return true
+			}
+			cons = cons[:0]
+			cons = append(cons, fixed...)
+			for ai, oi := range active {
+				if bits.Get(ai) {
+					cons = append(cons, partial[oi])
+				} else {
+					cons = append(cons, partial[oi].Complement())
+				}
+			}
+			res.LPCalls++
+			if witness, margin, ok := geom.FeasibleInterior(cons); ok {
+				res.Cells = append(res.Cells, mkCell(bits, witness, margin))
+				found = true
+			}
+			return true
+		})
+		if abort {
+			res.Truncated = true
+			return res
+		}
+		res.CompleteUpTo = nForced + aw
+		if found && res.MinWeight < 0 {
+			res.MinWeight = nForced + aw
+			if s := res.MinWeight + cfg.Extra; s < stopW {
+				stopW = s
+			}
+		}
+	}
+	if res.CompleteUpTo < 0 {
+		res.CompleteUpTo = nForced - 1 // nothing enumerated (cap below forced)
+	}
+	return res
+}
+
+// drawSamples returns interior points of box ∩ simplex: rejection sampling
+// plus jittered copies of the LP anchor for thin regions.
+func drawSamples(rng *rand.Rand, box geom.Rect, anchor vecmath.Point, n int) []vecmath.Point {
+	dr := box.Dim()
+	out := make([]vecmath.Point, 0, n)
+	out = append(out, anchor)
+	tries := 0
+	for len(out) < n && tries < 20*n {
+		tries++
+		p := make(vecmath.Point, dr)
+		var sum float64
+		for i := range p {
+			p[i] = box.Lo[i] + rng.Float64()*(box.Hi[i]-box.Lo[i])
+			sum += p[i]
+		}
+		if sum >= 1 {
+			continue
+		}
+		ok := true
+		for _, v := range p {
+			if v <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	// Jitter around the anchor to diversify thin-region coverage.
+	for len(out) < n {
+		p := make(vecmath.Point, dr)
+		var sum float64
+		ok := true
+		for i := range p {
+			span := box.Hi[i] - box.Lo[i]
+			p[i] = anchor[i] + (rng.Float64()-0.5)*0.25*span
+			if p[i] <= box.Lo[i] || p[i] >= box.Hi[i] || p[i] <= 0 {
+				ok = false
+				break
+			}
+			sum += p[i]
+		}
+		if ok && sum < 1 {
+			out = append(out, p)
+		} else {
+			out = append(out, anchor)
+		}
+	}
+	return out
+}
+
+// sumConstraint returns Σ q_i <= 1 as a closed half-space.
+func sumConstraint(dr int) geom.Halfspace {
+	a := make(vecmath.Point, dr)
+	for i := range a {
+		a[i] = -1
+	}
+	return geom.Halfspace{A: a, B: -1}
+}
+
+// binaryConditions holds, for every ordered pair of active half-spaces,
+// which joint bit patterns are impossible within the leaf (paper Figure 4,
+// generalised to all four pattern combinations).
+type binaryConditions struct {
+	conflict11 []Bitset // j set in conflict11[i]: i=1,j=1 impossible
+	requires1  []Bitset // j set in requires1[i]: i=1 forces j=1
+	conflict00 []Bitset // j set in conflict00[i]: i=0,j=0 impossible
+}
+
+// buildBinaryConditions derives the tables, using sample patterns to avoid
+// LPs for combinations already certified non-empty.
+func buildBinaryConditions(partial []geom.Halfspace, active []int, patterns []Bitset, fixed []geom.Halfspace, res *Result) *binaryConditions {
+	m := len(active)
+	bc := &binaryConditions{
+		conflict11: make([]Bitset, m),
+		requires1:  make([]Bitset, m),
+		conflict00: make([]Bitset, m),
+	}
+	for i := 0; i < m; i++ {
+		bc.conflict11[i] = NewBitset(m)
+		bc.requires1[i] = NewBitset(m)
+		bc.conflict00[i] = NewBitset(m)
+	}
+	// memberOf[i] holds, as a bitset over samples, which samples fall inside
+	// half-space i; pairwise combo coverage then reduces to word-level
+	// intersections instead of per-pair bit probes.
+	nS := len(patterns)
+	memberOf := make([]Bitset, m)
+	for i := 0; i < m; i++ {
+		memberOf[i] = NewBitset(nS)
+	}
+	for s, bits := range patterns {
+		for i := 0; i < m; i++ {
+			if bits.Get(i) {
+				memberOf[i].Set(s)
+			}
+		}
+	}
+	notMemberOf := make([]Bitset, m)
+	for i := 0; i < m; i++ {
+		nm := memberOf[i].Clone()
+		for w := range nm {
+			nm[w] = ^nm[w]
+		}
+		// Mask the tail beyond nS bits.
+		if rem := nS % 64; rem != 0 && len(nm) > 0 {
+			nm[len(nm)-1] &= (1 << uint(rem)) - 1
+		}
+		notMemberOf[i] = nm
+	}
+	seen := func(i, j int, combo int) bool {
+		var a, b Bitset
+		if combo&2 != 0 {
+			a = memberOf[i]
+		} else {
+			a = notMemberOf[i]
+		}
+		if combo&1 != 0 {
+			b = memberOf[j]
+		} else {
+			b = notMemberOf[j]
+		}
+		return a.IntersectsAny(b)
+	}
+	probe := make([]geom.Halfspace, 0, len(fixed)+2)
+	test := func(a, b geom.Halfspace) bool {
+		probe = probe[:0]
+		probe = append(probe, fixed...)
+		probe = append(probe, a, b)
+		res.LPCalls++
+		_, _, ok := geom.FeasibleInterior(probe)
+		return ok
+	}
+	for i := 0; i < m; i++ {
+		hi := partial[active[i]]
+		for j := i + 1; j < m; j++ {
+			hj := partial[active[j]]
+			if !seen(i, j, 3) && !test(hi, hj) { // 1,1
+				bc.conflict11[i].Set(j)
+				bc.conflict11[j].Set(i)
+			}
+			if !seen(i, j, 2) && !test(hi, hj.Complement()) { // 1,0
+				bc.requires1[i].Set(j)
+			}
+			if !seen(i, j, 1) && !test(hi.Complement(), hj) { // 0,1
+				bc.requires1[j].Set(i)
+			}
+			if !seen(i, j, 0) && !test(hi.Complement(), hj.Complement()) { // 0,0
+				bc.conflict00[i].Set(j)
+				bc.conflict00[j].Set(i)
+			}
+		}
+	}
+	return bc
+}
+
+// completeOK validates the conditions that need the complete assignment
+// (requires1 and conflict00); conflict11 is enforced during the DFS.
+func (bc *binaryConditions) completeOK(bits Bitset, m int) bool {
+	for i := 0; i < m; i++ {
+		if bits.Get(i) {
+			if !bits.ContainsAll(bc.requires1[i]) {
+				return false
+			}
+		} else if !bits.ContainsAll(bc.conflict00[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubsetDFS enumerates size-w subsets of {0..m-1} in lexicographic
+// order, pruning branches whose chosen bits already violate a 1,1 conflict.
+// fn returning false aborts.
+func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits Bitset) bool) {
+	bits := NewBitset(m)
+	if w == 0 {
+		fn(nil, bits)
+		return
+	}
+	if w > m {
+		return
+	}
+	sel := make([]int, 0, w)
+	var forbidden Bitset
+	if cond != nil {
+		forbidden = NewBitset(m)
+	}
+	var scratch []Bitset // per-depth saved forbidden masks
+	if cond != nil {
+		scratch = make([]Bitset, w)
+		for i := range scratch {
+			scratch[i] = NewBitset(m)
+		}
+	}
+	ok := true
+	var dfs func(start int)
+	dfs = func(start int) {
+		if !ok {
+			return
+		}
+		need := w - len(sel)
+		if need == 0 {
+			ok = fn(sel, bits)
+			return
+		}
+		for i := start; i <= m-need && ok; i++ {
+			if cond != nil && forbidden.Get(i) {
+				continue
+			}
+			sel = append(sel, i)
+			bits.Set(i)
+			if cond != nil {
+				depth := len(sel) - 1
+				copy(scratch[depth], forbidden)
+				for k := range forbidden {
+					forbidden[k] |= cond.conflict11[i][k]
+				}
+				dfs(i + 1)
+				copy(forbidden, scratch[depth])
+			} else {
+				dfs(i + 1)
+			}
+			bits.Clear(i)
+			sel = sel[:len(sel)-1]
+		}
+	}
+	dfs(0)
+}
+
+// tooManyCombinations reports whether C(m, w) exceeds the limit.
+func tooManyCombinations(m, w, limit int) bool {
+	if limit <= 0 {
+		return true
+	}
+	c := big.NewInt(1)
+	c.Binomial(int64(m), int64(w))
+	return c.Cmp(big.NewInt(int64(limit))) > 0
+}

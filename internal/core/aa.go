@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/quadtree"
+	"repro/internal/skyline"
+)
+
+// AA is the advanced approach (paper Section 6). Instead of materialising a
+// half-space for every incomparable record, AA maintains the skyline of the
+// not-yet-expanded incomparable records (via BBS with parking — the
+// implicit subsumption of Section 6.2) and keeps a *mixed arrangement* of
+// augmented and singular half-spaces in the quad-tree. Each iteration
+// identifies the minimum-order cells; cells covered by no augmented
+// half-space have accurate order and extent, while the augmented coverers
+// of the others are expanded — marked singular, with the records they
+// subsumed surfacing as new augmented half-spaces. AA terminates when every
+// candidate cell is accurate (Algorithm 1, extended to iMaxRank).
+func AA(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Tree.Dim() == 2 {
+		return AA2D(in)
+	}
+	return aaGeneral(in)
+}
+
+func aaGeneral(in Input) (*Result, error) {
+	start := timeNow()
+	base := ioBaseline(in.Tree)
+	res := &Result{}
+	p := in.Focal
+
+	dom, err := CountDominators(in.Tree, p)
+	if err != nil {
+		return nil, err
+	}
+
+	sky, err := skyline.New(in.Tree, p, in.FocalID)
+	if err != nil {
+		return nil, err
+	}
+	qt, err := quadtree.New(in.Tree.Dim()-1, quadtree.Options{
+		MaxPartial: in.QuadMaxPartial,
+		MaxDepth:   in.QuadMaxDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	insert := func(recs []skyline.Record) {
+		for _, r := range recs {
+			qt.Insert(&quadtree.HalfspaceRef{
+				H:         geom.RecordHalfspace(r.Point, p),
+				RecordID:  r.ID,
+				Augmented: true,
+			})
+			res.Stats.HalfspacesInserted++
+		}
+	}
+	first, err := sky.Skyline()
+	if err != nil {
+		return nil, err
+	}
+	insert(first)
+
+	oStar := -1 // minimum accurate cell order found so far (-1 = none)
+	cache := make(leafCache)
+	var finalCells []foundCell
+	for {
+		res.Stats.Iterations++
+		minO, cells := collectCells(qt, in, &res.Stats, oStar, cache)
+		if minO < 0 {
+			// Empty arrangement: no incomparable records; p is top everywhere.
+			finalCells = nil
+			oStar = 0
+			break
+		}
+
+		// Partition candidate cells into accurate ones and the augmented
+		// half-spaces that make the rest inaccurate.
+		expand := make(map[int64]bool)
+		accurate := cells[:0]
+		for _, fc := range cells {
+			var pending []int64
+			for _, refIdx := range fc.containingRefs() {
+				if ref := qt.Ref(refIdx); ref.Augmented {
+					pending = append(pending, ref.RecordID)
+				}
+			}
+			if len(pending) == 0 {
+				if oStar < 0 || fc.order < oStar {
+					oStar = fc.order
+				}
+				accurate = append(accurate, fc)
+				continue
+			}
+			for _, id := range pending {
+				expand[id] = true
+			}
+		}
+		if len(expand) == 0 {
+			finalCells = accurate
+			break
+		}
+		// Refining hopeless regions is wasted work: tell the quad-tree the
+		// current interim bound before the expansion inserts half-spaces.
+		bound := minO
+		if oStar >= 0 && oStar < bound {
+			bound = oStar
+		}
+		qt.SetSplitBound(bound + in.Tau)
+		for id := range expand {
+			ref, ok := qt.RefByRecord(id)
+			if !ok {
+				return nil, fmt.Errorf("core: AA expansion of unknown record %d", id)
+			}
+			ref.Augmented = false
+			uncovered, err := sky.Expand(id)
+			if err != nil {
+				return nil, err
+			}
+			insert(uncovered)
+		}
+	}
+
+	regions := make([]Region, 0, len(finalCells))
+	for _, fc := range finalCells {
+		regions = append(regions, makeRegion(qt, fc, in.CollectRecordIDs))
+	}
+	finishResult(res, regions, oStar, in.Tau, dom)
+	res.Stats.Dominators = dom
+	res.Stats.IncomparableAccessed = sky.Accessed()
+	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.CPUTime = timeNow().Sub(start)
+	return res, nil
+}

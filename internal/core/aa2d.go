@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rbtree"
+	"repro/internal/skyline"
+	"repro/internal/vecmath"
+)
+
+// halfline is the d = 2 counterpart of a half-space: the reduced query
+// space is the q1 interval (0,1) and every incomparable record r induces
+// either ⟨v, →⟩ (r outranks p when q1 > v) or ⟨v, ←⟩ (when q1 < v).
+type halfline struct {
+	v         float64
+	right     bool // true: contains q1 > v; false: contains q1 < v
+	recordID  int64
+	augmented bool
+}
+
+// contains reports whether the half-line contains the open interval (lo,hi).
+func (h *halfline) contains(lo, hi float64) bool {
+	if h.right {
+		return h.v <= lo
+	}
+	return h.v >= hi
+}
+
+// boundary is the red-black tree payload for one distinct q1 value.
+type boundary struct {
+	rights []*halfline
+	lefts  []*halfline
+}
+
+// AA2D is the specialised advanced approach for d = 2 (paper Section 6.3):
+// the mixed arrangement is a set of half-lines kept in a sorted container (a
+// red-black tree), cells are the intervals between consecutive boundary
+// values, and cell orders follow from a single left-to-right sweep.
+func AA2D(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Tree.Dim() != 2 {
+		return nil, fmt.Errorf("core: AA2D requires d = 2, got %d", in.Tree.Dim())
+	}
+	start := timeNow()
+	base := ioBaseline(in.Tree)
+	res := &Result{}
+	p := in.Focal
+
+	dom, err := CountDominators(in.Tree, p)
+	if err != nil {
+		return nil, err
+	}
+
+	sky, err := skyline.New(in.Tree, p, in.FocalID)
+	if err != nil {
+		return nil, err
+	}
+	arr := rbtree.New()
+	byRecord := make(map[int64]*halfline)
+	var all []*halfline
+
+	insert := func(recs []skyline.Record) error {
+		for _, r := range recs {
+			a := (r.Point[0] - r.Point[1]) - (p[0] - p[1])
+			b := p[1] - r.Point[1]
+			if a == 0 {
+				// Cannot happen for records incomparable to p (it would
+				// imply dominance); guard against degenerate input.
+				return fmt.Errorf("core: record %d induces a degenerate half-line", r.ID)
+			}
+			hl := &halfline{v: b / a, right: a > 0, recordID: r.ID, augmented: true}
+			byRecord[r.ID] = hl
+			all = append(all, hl)
+			res.Stats.HalfspacesInserted++
+			node, ok := arr.Insert(hl.v, &boundary{})
+			_ = ok
+			bd := node.Value.(*boundary)
+			if hl.right {
+				bd.rights = append(bd.rights, hl)
+			} else {
+				bd.lefts = append(bd.lefts, hl)
+			}
+		}
+		return nil
+	}
+	first, err := sky.Skyline()
+	if err != nil {
+		return nil, err
+	}
+	if err := insert(first); err != nil {
+		return nil, err
+	}
+
+	type interval struct {
+		lo, hi float64
+		order  int
+		aug    int // containing half-lines that are still augmented
+	}
+	oStar := -1
+	var final []interval
+	for {
+		res.Stats.Iterations++
+		// Sweep: the first cell (0, v1) is contained in every ← half-line
+		// with v > 0 and every → half-line with v <= 0 (the latter cannot
+		// arise from incomparable records but is handled for robustness);
+		// crossing a boundary adds its → half-lines and removes its ← ones.
+		// curAug tracks how many of the containing half-lines are augmented,
+		// so cell accuracy falls out of the same sweep.
+		cur, curAug := 0, 0
+		for _, hl := range all {
+			in01 := (hl.right && hl.v <= 0) || (!hl.right && hl.v > 0)
+			if !in01 {
+				continue
+			}
+			cur++
+			if hl.augmented {
+				curAug++
+			}
+		}
+		var cells []interval
+		lo := 0.0
+		minO := -1
+		emit := func(hi float64) {
+			cells = append(cells, interval{lo: lo, hi: hi, order: cur, aug: curAug})
+			if minO < 0 || cur < minO {
+				minO = cur
+			}
+			lo = hi
+		}
+		arr.Ascend(func(n *rbtree.Node) bool {
+			if n.Key <= 0 {
+				return true // effects already folded into the initial count
+			}
+			if n.Key >= 1 {
+				return false
+			}
+			if n.Key > lo {
+				emit(n.Key)
+			}
+			bd := n.Value.(*boundary)
+			cur += len(bd.rights) - len(bd.lefts)
+			for _, hl := range bd.rights {
+				if hl.augmented {
+					curAug++
+				}
+			}
+			for _, hl := range bd.lefts {
+				if hl.augmented {
+					curAug--
+				}
+			}
+			return true
+		})
+		emit(1)
+
+		bound := minO
+		if oStar >= 0 && oStar < bound {
+			bound = oStar
+		}
+		expand := make(map[int64]bool)
+		var accurate []interval
+		for _, c := range cells {
+			if c.order > bound+in.Tau {
+				continue
+			}
+			if c.aug == 0 {
+				if oStar < 0 || c.order < oStar {
+					oStar = c.order
+				}
+				accurate = append(accurate, c)
+				continue
+			}
+			// Gather the augmented half-lines containing this inaccurate
+			// cell; every one of them gets expanded, so the scan cost is
+			// amortised by the expansion work itself.
+			for _, hl := range all {
+				if hl.augmented && hl.contains(c.lo, c.hi) {
+					expand[hl.recordID] = true
+				}
+			}
+		}
+		if len(expand) == 0 {
+			final = accurate
+			if oStar < 0 {
+				oStar = minO // no cells at all below bound: degenerate
+			}
+			break
+		}
+		for id := range expand {
+			byRecord[id].augmented = false
+			uncovered, err := sky.Expand(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := insert(uncovered); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if oStar < 0 {
+		oStar = 0
+	}
+
+	regions := make([]Region, 0, len(final))
+	for _, c := range final {
+		reg := Region{
+			Box:     geom.MustRect(vecmath.Point{c.lo}, vecmath.Point{c.hi}),
+			Witness: vecmath.Point{(c.lo + c.hi) / 2},
+			Order:   c.order,
+		}
+		if in.CollectRecordIDs {
+			for _, hl := range all {
+				if hl.contains(c.lo, c.hi) {
+					reg.OutrankIDs = append(reg.OutrankIDs, hl.recordID)
+				}
+			}
+		}
+		regions = append(regions, reg)
+	}
+	finishResult(res, regions, oStar, in.Tau, dom)
+	res.Stats.Dominators = dom
+	res.Stats.IncomparableAccessed = sky.Accessed()
+	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.CPUTime = timeNow().Sub(start)
+	return res, nil
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pager"
+	"repro/internal/rstar"
+	"repro/internal/vecmath"
+)
+
+// buildTree indexes points in a fresh store-backed R*-tree.
+func buildTree(t testing.TB, points []vecmath.Point) *rstar.Tree {
+	t.Helper()
+	if len(points) == 0 {
+		t.Fatal("buildTree: no points")
+	}
+	store := pager.NewStore(0)
+	tree, err := rstar.New(store, len(points[0]), rstar.Options{DirectMemory: true})
+	if err != nil {
+		t.Fatalf("rstar.New: %v", err)
+	}
+	if err := tree.BulkLoad(points, nil); err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	if err := tree.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	store.ResetStats()
+	return tree
+}
+
+// directOrderAt computes the focal record's cell order (incomparable records
+// scoring strictly above it) at a reduced-space query point.
+func directOrderAt(points []vecmath.Point, focalIdx int, q vecmath.Point) int {
+	full := vecmath.LiftQuery(q)
+	focal := points[focalIdx]
+	fs := focal.Dot(full)
+	order := 0
+	for i, r := range points {
+		if i == focalIdx {
+			continue
+		}
+		if vecmath.Compare(r, focal) != vecmath.Incomparable {
+			continue
+		}
+		if r.Dot(full) > fs {
+			order++
+		}
+	}
+	return order
+}
+
+// checkResult validates a Result against the oracle and by direct scoring.
+func checkResult(t *testing.T, name string, res *Result, points []vecmath.Point, focalIdx int, tau int, oracle BruteResult) {
+	t.Helper()
+	if res.KStar != oracle.KStar {
+		t.Errorf("%s: k* = %d, oracle %d (minOrder %d vs %d, dom %d vs %d)",
+			name, res.KStar, oracle.KStar, res.MinOrder, oracle.MinOrder,
+			res.Dominators, oracle.Dominators)
+		return
+	}
+	if res.Dominators != oracle.Dominators {
+		t.Errorf("%s: dominators = %d, oracle %d", name, res.Dominators, oracle.Dominators)
+	}
+	if len(res.Regions) == 0 {
+		t.Errorf("%s: no regions reported", name)
+	}
+	for i, reg := range res.Regions {
+		if reg.Order < res.MinOrder || reg.Order > res.MinOrder+tau {
+			t.Errorf("%s: region %d order %d outside band [%d,%d]",
+				name, i, reg.Order, res.MinOrder, res.MinOrder+tau)
+		}
+		got := directOrderAt(points, focalIdx, reg.Witness)
+		if got != reg.Order {
+			t.Errorf("%s: region %d witness %v has direct order %d, claimed %d",
+				name, i, reg.Witness, got, reg.Order)
+		}
+	}
+}
+
+// regionsCover reports whether some region contains q (with tolerance).
+func regionsCover(res *Result, q vecmath.Point) bool {
+	const tol = 1e-9
+	for _, reg := range res.Regions {
+		if !boxContainsTol(reg.Box, q, tol) {
+			continue
+		}
+		ok := true
+		for _, h := range reg.Constraints {
+			if h.A.Dot(q) < h.B-tol {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func boxContainsTol(box interface {
+	Contains(vecmath.Point) bool
+}, q vecmath.Point, _ float64) bool {
+	return box.Contains(q)
+}
+
+func runAll(t *testing.T, points []vecmath.Point, focalIdx int, tau int, seed int64) {
+	t.Helper()
+	tree := buildTree(t, points)
+	in := Input{
+		Tree:    tree,
+		Focal:   points[focalIdx],
+		FocalID: int64(focalIdx),
+		Tau:     tau,
+	}
+	oracle := BruteForce(points, points[focalIdx], focalIdx, seed, 4000)
+
+	d := len(points[0])
+	type alg struct {
+		name string
+		run  func(Input) (*Result, error)
+	}
+	algs := []alg{{"BA", BA}, {"AA", AA}}
+	if d == 2 {
+		algs = append(algs, alg{"FCA", FCA}, alg{"AA2D", AA2D})
+	}
+	var results []*Result
+	for _, a := range algs {
+		res, err := a.run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		checkResult(t, a.name, res, points, focalIdx, tau, oracle)
+		results = append(results, res)
+	}
+	// Cross-algorithm agreement on k*.
+	for i := 1; i < len(results); i++ {
+		if results[i].KStar != results[0].KStar {
+			t.Errorf("k* disagreement: %s=%d vs %s=%d",
+				algs[i].name, results[i].KStar, algs[0].name, results[0].KStar)
+		}
+	}
+	// Coverage: every random interior point whose direct order falls in the
+	// band must be covered by a region of every algorithm (sampled points
+	// too close to a boundary are skipped by re-checking a nudged copy).
+	rng := rand.New(rand.NewSource(seed + 99))
+	for s := 0; s < 300; s++ {
+		q := randomSimplexInterior(rng, d-1)
+		order := directOrderAt(points, focalIdx, q)
+		if order > results[0].MinOrder+tau {
+			continue
+		}
+		// Skip points too near any arrangement boundary: containment checks
+		// are ambiguous there.
+		if nearBoundary(points, focalIdx, q, 1e-7) {
+			continue
+		}
+		for i, res := range results {
+			if !regionsCover(res, q) {
+				t.Errorf("%s: point %v (order %d, band <= %d) not covered by any of %d regions",
+					algs[i].name, q, order, results[0].MinOrder+tau, len(res.Regions))
+			}
+		}
+	}
+}
+
+// nearBoundary reports whether q is within eps of any record's hyperplane
+// or a domain facet in the reduced space.
+func nearBoundary(points []vecmath.Point, focalIdx int, q vecmath.Point, eps float64) bool {
+	focal := points[focalIdx]
+	var sum float64
+	for _, v := range q {
+		if v < eps {
+			return true
+		}
+		sum += v
+	}
+	if sum > 1-eps {
+		return true
+	}
+	full := vecmath.LiftQuery(q)
+	fs := focal.Dot(full)
+	for i, r := range points {
+		if i == focalIdx || vecmath.Compare(r, focal) != vecmath.Incomparable {
+			continue
+		}
+		if diff := r.Dot(full) - fs; diff > -eps && diff < eps {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAlgorithmsAgreeSmall2D(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		seed := int64(1000 + trial)
+		points := dataset.Generate(dataset.IND, 30, 2, seed)
+		runAll(t, points, trial%len(points), 0, seed)
+	}
+}
+
+func TestAlgorithmsAgreeSmall3D(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		seed := int64(2000 + trial)
+		points := dataset.Generate(dataset.IND, 25, 3, seed)
+		runAll(t, points, trial%len(points), 0, seed)
+	}
+}
+
+func TestAlgorithmsAgreeSmall4D(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seed := int64(3000 + trial)
+		points := dataset.Generate(dataset.IND, 18, 4, seed)
+		runAll(t, points, trial%len(points), 0, seed)
+	}
+}
+
+func TestAlgorithmsAgreeTau(t *testing.T) {
+	for _, tau := range []int{1, 2, 3} {
+		for trial := 0; trial < 8; trial++ {
+			seed := int64(4000 + trial + 100*tau)
+			points := dataset.Generate(dataset.IND, 24, 3, seed)
+			t.Run(fmt.Sprintf("tau=%d/trial=%d", tau, trial), func(t *testing.T) {
+				runAll(t, points, trial%len(points), tau, seed)
+			})
+		}
+	}
+}
+
+func TestAlgorithmsAgreeDistributions(t *testing.T) {
+	for _, dist := range []dataset.Distribution{dataset.COR, dataset.ANTI} {
+		for trial := 0; trial < 8; trial++ {
+			seed := int64(5000 + trial)
+			points := dataset.Generate(dist, 25, 3, seed)
+			t.Run(fmt.Sprintf("%v/trial=%d", dist, trial), func(t *testing.T) {
+				runAll(t, points, trial%len(points), 0, seed)
+			})
+		}
+	}
+}
+
+func TestFocalNotInDataset(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 40, 3, 7)
+	tree := buildTree(t, points)
+	focal := vecmath.Point{0.55, 0.5, 0.45}
+	in := Input{Tree: tree, Focal: focal, FocalID: -1}
+	oracle := BruteForce(points, focal, -1, 7, 4000)
+	for _, a := range []struct {
+		name string
+		run  func(Input) (*Result, error)
+	}{{"BA", BA}, {"AA", AA}} {
+		res, err := a.run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if res.KStar != oracle.KStar {
+			t.Errorf("%s: k* = %d, oracle %d", a.name, res.KStar, oracle.KStar)
+		}
+	}
+}
+
+func TestDominatedFocal(t *testing.T) {
+	// A focal record dominated by many others: k* must exceed the number of
+	// dominators.
+	points := []vecmath.Point{
+		{0.9, 0.9}, {0.8, 0.85}, {0.7, 0.75}, {0.2, 0.1},
+		{0.15, 0.6}, {0.6, 0.15},
+	}
+	focalIdx := 3
+	tree := buildTree(t, points)
+	in := Input{Tree: tree, Focal: points[focalIdx], FocalID: int64(focalIdx)}
+	res, err := AA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dominators != 4 {
+		// (0.9,0.9), (0.8,0.85), (0.7,0.75) and (0.6,0.15) all dominate p.
+		t.Fatalf("dominators = %d, want 4", res.Dominators)
+	}
+	oracle := BruteForce(points, points[focalIdx], focalIdx, 1, 2000)
+	if res.KStar != oracle.KStar {
+		t.Fatalf("k* = %d, oracle %d", res.KStar, oracle.KStar)
+	}
+}
+
+func TestTopRecordFocal(t *testing.T) {
+	// A focal record on the convex hull boundary must achieve k* = 1.
+	points := []vecmath.Point{
+		{0.95, 0.95}, {0.5, 0.5}, {0.2, 0.8}, {0.8, 0.2}, {0.3, 0.3},
+	}
+	tree := buildTree(t, points)
+	in := Input{Tree: tree, Focal: points[0], FocalID: 0}
+	for _, run := range []func(Input) (*Result, error){FCA, BA, AA, AA2D} {
+		res, err := run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.KStar != 1 {
+			t.Fatalf("k* = %d, want 1", res.KStar)
+		}
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	// Figure 1/2 of the paper: k* = 3, attained on q1 intervals (0, 0.2)
+	// and (0.4, 0.6).
+	points := []vecmath.Point{
+		{0.8, 0.9}, // r1 — dominator
+		{0.2, 0.7}, // r2
+		{0.9, 0.4}, // r3
+		{0.7, 0.2}, // r4
+		{0.4, 0.3}, // r5 — dominee
+		{0.5, 0.5}, // p
+	}
+	focalIdx := 5
+	tree := buildTree(t, points)
+	in := Input{Tree: tree, Focal: points[focalIdx], FocalID: int64(focalIdx)}
+	for _, a := range []struct {
+		name string
+		run  func(Input) (*Result, error)
+	}{{"FCA", FCA}, {"BA", BA}, {"AA2D", AA2D}} {
+		res, err := a.run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if res.KStar != 3 {
+			t.Fatalf("%s: k* = %d, want 3", a.name, res.KStar)
+		}
+		if res.Dominators != 1 {
+			t.Fatalf("%s: dominators = %d, want 1", a.name, res.Dominators)
+		}
+		if a.name == "BA" {
+			// BA reports cells as constraint sets within quad-tree leaves;
+			// witnesses must land in the paper's two intervals.
+			for _, reg := range res.Regions {
+				w := reg.Witness[0]
+				if !(w > 0 && w < 0.2) && !(w > 0.4 && w < 0.6) {
+					t.Fatalf("BA: witness %g outside (0,0.2) ∪ (0.4,0.6)", w)
+				}
+			}
+			continue
+		}
+		if len(res.Regions) != 2 {
+			t.Fatalf("%s: |T| = %d, want 2 (%v)", a.name, len(res.Regions), res.Regions)
+		}
+		// The two intervals are (0, 0.2) and (0.4, 0.6).
+		var los, his []float64
+		for _, reg := range res.Regions {
+			los = append(los, reg.Box.Lo[0])
+			his = append(his, reg.Box.Hi[0])
+		}
+		assertIntervalSet(t, a.name, los, his, [][2]float64{{0, 0.2}, {0.4, 0.6}})
+	}
+}
+
+func assertIntervalSet(t *testing.T, name string, los, his []float64, want [][2]float64) {
+	t.Helper()
+	const tol = 1e-9
+	if len(los) != len(want) {
+		t.Fatalf("%s: %d intervals, want %d", name, len(los), len(want))
+	}
+	for _, w := range want {
+		found := false
+		for i := range los {
+			if abs(los[i]-w[0]) < tol && abs(his[i]-w[1]) < tol {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: interval [%g,%g] not reported (got lo=%v hi=%v)", name, w[0], w[1], los, his)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

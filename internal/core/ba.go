@@ -1,0 +1,239 @@
+package core
+
+import (
+	"repro/internal/cellenum"
+	"repro/internal/geom"
+	"repro/internal/quadtree"
+	"repro/internal/vecmath"
+)
+
+// BA is the basic approach for d >= 2 (paper Section 5): map every
+// incomparable record to a half-space in the reduced query space, organise
+// all of them in an augmented quad-tree, and process the leaves in
+// increasing |Fl| order, running the within-leaf module on each until the
+// remaining leaves cannot contain a cell of low enough order.
+func BA(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	start := timeNow()
+	base := ioBaseline(in.Tree)
+	res := &Result{}
+	p := in.Focal
+
+	dom, err := CountDominators(in.Tree, p)
+	if err != nil {
+		return nil, err
+	}
+
+	qt, err := quadtree.New(in.Tree.Dim()-1, quadtree.Options{
+		MaxPartial: in.QuadMaxPartial,
+		MaxDepth:   in.QuadMaxDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var nInc int64
+	err = scanIncomparable(in.Tree, p, in.FocalID, func(r vecmath.Point, id int64) error {
+		nInc++
+		qt.Insert(&quadtree.HalfspaceRef{H: geom.RecordHalfspace(r, p), RecordID: id})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.IncomparableAccessed = nInc
+	res.Stats.HalfspacesInserted = qt.NumHalfspaces()
+
+	minOrder, cells := collectCells(qt, in, &res.Stats, -1, nil)
+	regions := make([]Region, 0, len(cells))
+	for _, fc := range cells {
+		regions = append(regions, makeRegion(qt, fc, in.CollectRecordIDs))
+	}
+	finishResult(res, regions, minOrder, in.Tau, dom)
+	res.Stats.Dominators = dom
+	res.Stats.Iterations = 1
+	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.CPUTime = timeNow().Sub(start)
+	return res, nil
+}
+
+// foundCell is a non-empty arrangement cell discovered during the leaf
+// loop, annotated with its leaf and total order.
+type foundCell struct {
+	leaf  quadtree.Leaf
+	cell  cellenum.Cell
+	order int // |Fl| + p-order
+}
+
+// containingRefs returns the indices (into the quad-tree's half-space
+// registry) of all half-spaces containing this cell: the leaf's full set
+// plus the partial half-spaces whose bit is 1.
+func (fc *foundCell) containingRefs() []int {
+	full := fc.leaf.Full()
+	partial := fc.leaf.Partial()
+	refs := make([]int, 0, len(full)+len(fc.cell.In))
+	refs = append(refs, full...)
+	for _, i := range fc.cell.In {
+		refs = append(refs, partial[i])
+	}
+	return refs
+}
+
+// leafCache memoises within-leaf enumerations across AA iterations, keyed
+// by quad-tree node ID; entries are invalidated by version changes.
+type leafCache map[int]leafCacheEntry
+
+type leafCacheEntry struct {
+	version int
+	out     cellenum.Result
+}
+
+// validFor reports whether a cached enumeration answers a query with the
+// given weight cap and τ: the cached run must have exhaustively covered
+// either the requested cap or its own natural stopping weight (minWeight+τ),
+// whichever is smaller.
+func (e *leafCacheEntry) validFor(maxW, tau int) bool {
+	out := &e.out
+	if out.Truncated {
+		return false
+	}
+	need := maxW
+	if need < 0 || need > out.MaxPossibleWeight {
+		need = out.MaxPossibleWeight
+	}
+	if out.MinWeight >= 0 && out.MinWeight+tau < need {
+		need = out.MinWeight + tau
+	}
+	return out.CompleteUpTo >= need
+}
+
+// collectCells runs the leaf loop shared by BA and each AA iteration:
+// leaves ascending by |Fl| (counting sort), within-leaf enumeration bounded
+// by the best order found so far plus τ. A non-negative orderCap
+// additionally bounds collection (AA passes its current accurate optimum
+// o*), and AA supplies a cache so unchanged leaves are not re-enumerated.
+//
+// It returns the minimum cell order discovered (-1 when no cell exists,
+// which only happens when the whole arrangement lies outside the domain)
+// and all cells with order <= min(best, orderCap) + τ.
+func collectCells(qt *quadtree.Tree, in Input, stats *Stats, orderCap int, cache leafCache) (int, []foundCell) {
+	leaves := qt.Leaves()
+	// Counting sort by |Fl|: counts are bounded by the number of inserted
+	// half-spaces and leaf lists can be large in refined arrangements.
+	maxFC := 0
+	for _, l := range leaves {
+		if fc := l.FullCount(); fc > maxFC {
+			maxFC = fc
+		}
+	}
+	buckets := make([][]quadtree.Leaf, maxFC+1)
+	for _, l := range leaves {
+		buckets[l.FullCount()] = append(buckets[l.FullCount()], l)
+	}
+
+	best := -1 // min cell order found; -1 = nothing yet
+	bound := func() int {
+		b := orderCap
+		if best >= 0 && (b < 0 || best < b) {
+			b = best
+		}
+		return b
+	}
+	var cells []foundCell
+	remaining := len(leaves)
+scan:
+	for fc := 0; fc <= maxFC; fc++ {
+		for _, leaf := range buckets[fc] {
+			if b := bound(); b >= 0 && leaf.FullCount() > b+in.Tau {
+				stats.LeavesPruned += remaining
+				break scan
+			}
+			maxW := -1
+			if b := bound(); b >= 0 {
+				maxW = b + in.Tau - leaf.FullCount()
+			}
+			var out cellenum.Result
+			hit := false
+			if cache != nil {
+				if ent, ok := cache[leaf.NodeID()]; ok && ent.version == leaf.Version() && ent.validFor(maxW, in.Tau) {
+					out = ent.out
+					hit = true
+				}
+			}
+			if !hit {
+				leafPartial := leaf.Partial()
+				partial := make([]geom.Halfspace, len(leafPartial))
+				for i, hsIdx := range leafPartial {
+					partial[i] = qt.Ref(hsIdx).H
+				}
+				out = cellenum.Enumerate(leaf.Box(), partial, cellenum.Config{
+					MaxWeight: maxW,
+					Extra:     in.Tau,
+					Seed:      int64(leaf.NodeID())<<16 + int64(leaf.Version()),
+				})
+				stats.LeavesProcessed++
+				stats.LPCalls += int64(out.LPCalls)
+				if cache != nil && !out.Truncated {
+					cache[leaf.NodeID()] = leafCacheEntry{version: leaf.Version(), out: out}
+				}
+			}
+			for _, cell := range out.Cells {
+				order := leaf.FullCount() + cell.POrder()
+				if b := bound(); b >= 0 && order > b+in.Tau {
+					continue
+				}
+				if best < 0 || order < best {
+					best = order
+				}
+				cells = append(cells, foundCell{leaf: leaf, cell: cell, order: order})
+			}
+			remaining--
+		}
+	}
+	// Trim to the final bound (cells collected early may exceed it).
+	b := bound()
+	if b >= 0 {
+		kept := cells[:0]
+		for _, fc := range cells {
+			if fc.order <= b+in.Tau {
+				kept = append(kept, fc)
+			}
+		}
+		cells = kept
+	}
+	return best, cells
+}
+
+// makeRegion materialises a Region from a within-leaf cell.
+func makeRegion(qt *quadtree.Tree, fc foundCell, collectIDs bool) Region {
+	leaf, cell := fc.leaf, fc.cell
+	leafPartial := leaf.Partial()
+	cons := make([]geom.Halfspace, 0, len(leafPartial))
+	inSet := make(map[int]bool, len(cell.In))
+	for _, i := range cell.In {
+		inSet[i] = true
+	}
+	for i, hsIdx := range leafPartial {
+		h := qt.Ref(hsIdx).H
+		if inSet[i] {
+			cons = append(cons, h)
+		} else {
+			cons = append(cons, h.Complement())
+		}
+	}
+	reg := Region{
+		Box:         leaf.Box().Clone(),
+		Constraints: cons,
+		Witness:     cell.Witness,
+		Order:       fc.order,
+	}
+	if collectIDs {
+		ids := make([]int64, 0, fc.order)
+		for _, hsIdx := range fc.containingRefs() {
+			ids = append(ids, qt.Ref(hsIdx).RecordID)
+		}
+		reg.OutrankIDs = ids
+	}
+	return reg
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// TestIMaxRankBandCoverage validates iMaxRank on instances too large for
+// the vertex oracle: every region witness must have its claimed order, the
+// band [k*, k*+τ] must be fully covered (checked by sampling), and growing
+// τ must only add regions.
+func TestIMaxRankBandCoverage(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 120, 3, 77)
+	tree := buildTree(t, points)
+	focalIdx := 17
+	prevRegions := -1
+	for _, tau := range []int{0, 1, 2, 4} {
+		in := Input{Tree: tree, Focal: points[focalIdx], FocalID: int64(focalIdx), Tau: tau}
+		res, err := AA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Regions) <= prevRegions {
+			// Strictly larger is not guaranteed (a band may be empty), but
+			// fewer regions than a smaller τ is impossible.
+			if len(res.Regions) < prevRegions {
+				t.Fatalf("tau=%d: %d regions, fewer than smaller tau's %d",
+					tau, len(res.Regions), prevRegions)
+			}
+		}
+		prevRegions = len(res.Regions)
+		for i, reg := range res.Regions {
+			got := directOrderAt(points, focalIdx, reg.Witness)
+			if got != reg.Order {
+				t.Fatalf("tau=%d region %d: witness order %d != %d", tau, i, got, reg.Order)
+			}
+			if reg.Order < res.MinOrder || reg.Order > res.MinOrder+tau {
+				t.Fatalf("tau=%d region %d: order %d outside band", tau, i, reg.Order)
+			}
+		}
+		// Sampled coverage of the band.
+		rng := rand.New(rand.NewSource(int64(1000 + tau)))
+		for s := 0; s < 400; s++ {
+			q := randomSimplexInterior(rng, 2)
+			order := directOrderAt(points, focalIdx, q)
+			if order > res.MinOrder+tau || nearBoundary(points, focalIdx, q, 1e-7) {
+				continue
+			}
+			covered := false
+			for _, reg := range res.Regions {
+				if !reg.Box.Contains(q) {
+					continue
+				}
+				ok := true
+				for _, h := range reg.Constraints {
+					if h.A.Dot(q) < h.B-1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("tau=%d: band point %v (order %d) uncovered", tau, q, order)
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 30, 3, 1)
+	tree := buildTree(t, points)
+	cases := []Input{
+		{Tree: nil, Focal: points[0]},
+		{Tree: tree, Focal: vecmath.Point{0.5}},
+		{Tree: tree, Focal: points[0], Tau: -1},
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+	if _, err := FCA(Input{Tree: tree, Focal: points[0]}); err == nil {
+		t.Error("FCA accepted d=3")
+	}
+	if _, err := AA2D(Input{Tree: tree, Focal: points[0]}); err == nil {
+		t.Error("AA2D accepted d=3")
+	}
+}
+
+// TestStatsCoherence sanity-checks the cost counters the experiments rely
+// on.
+func TestStatsCoherence(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 500, 3, 3)
+	tree := buildTree(t, points)
+	in := Input{Tree: tree, Focal: points[9], FocalID: 9}
+
+	aa, err := AA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := BA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aa.KStar != ba.KStar {
+		t.Fatalf("k* mismatch: AA %d, BA %d", aa.KStar, ba.KStar)
+	}
+	// BA touches every incomparable record; AA must touch no more.
+	if aa.Stats.IncomparableAccessed > ba.Stats.IncomparableAccessed {
+		t.Fatalf("AA accessed %d > BA %d", aa.Stats.IncomparableAccessed, ba.Stats.IncomparableAccessed)
+	}
+	if aa.Stats.IO <= 0 || ba.Stats.IO <= 0 {
+		t.Fatal("missing I/O counts")
+	}
+	// AA cannot use more I/O than BA: BA scans the whole incomparable
+	// region, AA reads a subset of those pages plus the same dominator
+	// counting pages.
+	if aa.Stats.IO > ba.Stats.IO {
+		t.Fatalf("AA I/O %d > BA I/O %d", aa.Stats.IO, ba.Stats.IO)
+	}
+	if aa.Stats.Iterations < 1 || ba.Stats.Iterations != 1 {
+		t.Fatalf("iterations: AA %d, BA %d", aa.Stats.Iterations, ba.Stats.Iterations)
+	}
+	if aa.Stats.CPUTime <= 0 {
+		t.Fatal("CPU time not measured")
+	}
+	if ba.Stats.HalfspacesInserted != int(ba.Stats.IncomparableAccessed) {
+		t.Fatal("BA must insert one half-space per incomparable record")
+	}
+	if aa.Stats.HalfspacesInserted > ba.Stats.HalfspacesInserted {
+		t.Fatal("AA inserted more half-spaces than BA")
+	}
+}
+
+// TestFCAEdgeCases exercises degenerate sweep situations.
+func TestFCAEdgeCases(t *testing.T) {
+	// All records dominated by p: k* = 1 with the whole domain as region.
+	points := []vecmath.Point{
+		{0.9, 0.9}, {0.1, 0.2}, {0.2, 0.1}, {0.3, 0.3},
+	}
+	tree := buildTree(t, points)
+	res, err := FCA(Input{Tree: tree, Focal: points[0], FocalID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KStar != 1 || len(res.Regions) != 1 {
+		t.Fatalf("k*=%d regions=%d, want 1/1", res.KStar, len(res.Regions))
+	}
+	reg := res.Regions[0]
+	if reg.Box.Lo[0] != 0 || reg.Box.Hi[0] != 1 {
+		t.Fatalf("region %v should span the whole domain", reg.Box)
+	}
+
+	// Only dominators: k* = |D+| + 1 everywhere.
+	points2 := []vecmath.Point{
+		{0.1, 0.1}, {0.9, 0.9}, {0.8, 0.8}, {0.5, 0.5},
+	}
+	tree2 := buildTree(t, points2)
+	res2, err := FCA(Input{Tree: tree2, Focal: points2[0], FocalID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.KStar != 4 || res2.Dominators != 3 {
+		t.Fatalf("k*=%d dom=%d, want 4/3", res2.KStar, res2.Dominators)
+	}
+}
+
+// TestCollectRecordIDs verifies R_c materialisation across algorithms.
+func TestCollectRecordIDs(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 60, 3, 5)
+	tree := buildTree(t, points)
+	in := Input{Tree: tree, Focal: points[3], FocalID: 3, CollectRecordIDs: true}
+	for _, run := range []func(Input) (*Result, error){BA, AA} {
+		res, err := run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, reg := range res.Regions {
+			if len(reg.OutrankIDs) != reg.Order {
+				t.Fatalf("%d ids for order-%d region", len(reg.OutrankIDs), reg.Order)
+			}
+			q := vecmath.LiftQuery(reg.Witness)
+			fs := points[3].Dot(q)
+			for _, id := range reg.OutrankIDs {
+				if points[id].Dot(q) <= fs {
+					t.Fatalf("record %d listed in R_c but does not outrank p", id)
+				}
+			}
+		}
+	}
+}
+
+// TestBruteForceSelfConsistency pins the oracle itself on a constructed
+// instance with a known answer.
+func TestBruteForceSelfConsistency(t *testing.T) {
+	// Figure 1 of the paper: k* = 3.
+	points := []vecmath.Point{
+		{0.8, 0.9}, {0.2, 0.7}, {0.9, 0.4}, {0.7, 0.2}, {0.4, 0.3}, {0.5, 0.5},
+	}
+	br := BruteForce(points, points[5], 5, 1, 2000)
+	if br.KStar != 3 || br.Dominators != 1 {
+		t.Fatalf("oracle says k*=%d dom=%d, want 3/1", br.KStar, br.Dominators)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/vecmath"
+)
+
+// ReverseTopK2D answers the *monochromatic reverse top-k* query for d = 2
+// (Vlachou et al., discussed in the paper's Section 2 as the closest
+// relative of MaxRank): given k, report every region of the query space
+// where the focal record belongs to the top-k result. Unlike MaxRank, k is
+// an input here; the implementation reuses the FCA score-line sweep, so the
+// regions are exact intervals of q1.
+//
+// MaxRank generalises this query: ReverseTopK2D(k) is non-empty exactly
+// when k >= k*.
+func ReverseTopK2D(in Input, k int) ([]Region, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Tree.Dim() != 2 {
+		return nil, fmt.Errorf("core: ReverseTopK2D requires d = 2, got %d", in.Tree.Dim())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d < 1", k)
+	}
+	dom, err := CountDominators(in.Tree, in.Focal)
+	if err != nil {
+		return nil, err
+	}
+	if int64(k) <= dom {
+		return nil, nil // p can never enter the top-k: dominators fill it
+	}
+
+	// Sweep identical to FCA, collecting intervals with order <= k.
+	p := in.Focal
+	type crossing struct {
+		t     float64
+		delta int
+	}
+	var crossings []crossing
+	above0 := 0
+	err = scanIncomparable(in.Tree, p, in.FocalID, func(r vecmath.Point, id int64) error {
+		a := (r[0] - r[1]) - (p[0] - p[1])
+		c := r[1] - p[1]
+		isAbove0 := c > 0 || (c == 0 && a > 0)
+		if isAbove0 {
+			above0++
+		}
+		if a == 0 {
+			return nil
+		}
+		t := -c / a
+		if t <= 0 || t >= 1 {
+			return nil
+		}
+		delta := +1
+		if isAbove0 {
+			delta = -1
+		}
+		crossings = append(crossings, crossing{t: t, delta: delta})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(crossings, func(i, j int) bool { return crossings[i].t < crossings[j].t })
+
+	maxOrder := k - int(dom) - 1 // p in top-k ⇔ cell order <= k - |D+| - 1
+	var regions []Region
+	cur := above0
+	lo := 0.0
+	i := 0
+	flush := func(hi float64, order int) {
+		if hi <= lo {
+			return
+		}
+		if order > maxOrder {
+			lo = hi
+			return
+		}
+		// Merge with the previous region when contiguous (orders may vary
+		// inside a merged run; report the interval with its worst order).
+		if n := len(regions); n > 0 && regions[n-1].Box.Hi[0] == lo {
+			regions[n-1].Box.Hi[0] = hi
+			if order > regions[n-1].Order {
+				regions[n-1].Order = order
+			}
+			regions[n-1].Witness = vecmath.Point{(regions[n-1].Box.Lo[0] + hi) / 2}
+		} else {
+			regions = append(regions, Region{
+				Box:     geom.MustRect(vecmath.Point{lo}, vecmath.Point{hi}),
+				Witness: vecmath.Point{(lo + hi) / 2},
+				Order:   order,
+			})
+		}
+		lo = hi
+	}
+	for i <= len(crossings) {
+		var hi float64
+		if i == len(crossings) {
+			hi = 1
+		} else {
+			hi = crossings[i].t
+		}
+		flush(hi, cur)
+		if i == len(crossings) {
+			break
+		}
+		t := crossings[i].t
+		for i < len(crossings) && crossings[i].t == t {
+			cur += crossings[i].delta
+			i++
+		}
+	}
+	return regions, nil
+}

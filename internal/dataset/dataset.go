@@ -1,0 +1,136 @@
+// Package dataset provides the workloads of the paper's evaluation
+// (Section 8): the three standard synthetic benchmark distributions for
+// preference queries — Independent (IND), Correlated (COR) and
+// Anti-correlated (ANTI), following Börzsönyi et al.'s generators — plus
+// synthetic proxies for the five real datasets (HOTEL, HOUSE, NBA, PITCH,
+// BAT), which are not redistributable; the proxies match each dataset's
+// published cardinality, dimensionality and qualitative correlation
+// structure (see DESIGN.md §7).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// Distribution identifies a synthetic data distribution.
+type Distribution int
+
+const (
+	// IND: attribute values independent and uniform in [0,1].
+	IND Distribution = iota
+	// COR: correlated — records good in one attribute tend to be good in
+	// the others (few skyline records, stable rankings).
+	COR
+	// ANTI: anti-correlated — records good in one attribute tend to be bad
+	// in the others (large skylines, volatile rankings).
+	ANTI
+)
+
+// ParseDistribution maps a name ("IND", "COR", "ANTI") to a Distribution.
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "IND", "ind":
+		return IND, nil
+	case "COR", "cor":
+		return COR, nil
+	case "ANTI", "anti":
+		return ANTI, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown distribution %q", name)
+}
+
+func (d Distribution) String() string {
+	switch d {
+	case IND:
+		return "IND"
+	case COR:
+		return "COR"
+	case ANTI:
+		return "ANTI"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Generate produces n records of dimensionality dim drawn from the given
+// distribution, deterministic in seed.
+func Generate(dist Distribution, n, dim int, seed int64) []vecmath.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]vecmath.Point, n)
+	for i := range pts {
+		switch dist {
+		case IND:
+			pts[i] = independent(rng, dim)
+		case COR:
+			pts[i] = correlated(rng, dim)
+		case ANTI:
+			pts[i] = anticorrelated(rng, dim)
+		default:
+			panic(fmt.Sprintf("dataset: unknown distribution %d", int(dist)))
+		}
+	}
+	return pts
+}
+
+func independent(rng *rand.Rand, dim int) vecmath.Point {
+	p := make(vecmath.Point, dim)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	return p
+}
+
+// correlated follows the standard generator: pick a location on the main
+// diagonal (peaked toward the middle), then perturb each attribute with a
+// small symmetric displacement.
+func correlated(rng *rand.Rand, dim int) vecmath.Point {
+	c := peakedRand(rng)
+	p := make(vecmath.Point, dim)
+	for i := range p {
+		p[i] = clamp01(c + normalish(rng)*0.13)
+	}
+	return p
+}
+
+// anticorrelated places records close to the anti-diagonal hyperplane
+// Σ x_i ≈ dim/2, spreading the per-attribute values so that a large value
+// in one attribute comes with small values elsewhere.
+func anticorrelated(rng *rand.Rand, dim int) vecmath.Point {
+	// Target plane position, tightly concentrated.
+	c := 0.5 + normalish(rng)*0.05
+	p := make(vecmath.Point, dim)
+	var sum float64
+	for i := range p {
+		p[i] = rng.Float64()
+		sum += p[i]
+	}
+	// Shift the record so its mean is c, keeping the spread.
+	shift := c - sum/float64(dim)
+	for i := range p {
+		p[i] = clamp01(p[i] + shift)
+	}
+	return p
+}
+
+// peakedRand returns a value in [0,1] with a triangular peak at 0.5.
+func peakedRand(rng *rand.Rand) float64 {
+	return (rng.Float64() + rng.Float64()) / 2
+}
+
+// normalish returns an approximately standard-normal variate (Irwin–Hall
+// sum of 12 uniforms), cheap and without math.Sqrt/Log in the hot path.
+func normalish(rng *rand.Rand) float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += rng.Float64()
+	}
+	return s - 6
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(1, math.Max(0, v))
+}

@@ -1,0 +1,239 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, dist := range []Distribution{IND, COR, ANTI} {
+		pts := Generate(dist, 500, 4, 7)
+		if len(pts) != 500 {
+			t.Fatalf("%v: %d points", dist, len(pts))
+		}
+		for _, p := range pts {
+			if len(p) != 4 {
+				t.Fatalf("%v: wrong dim", dist)
+			}
+			for _, v := range p {
+				if v < 0 || v > 1 {
+					t.Fatalf("%v: value %g outside [0,1]", dist, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(COR, 100, 3, 42)
+	b := Generate(COR, 100, 3, 42)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Generate(COR, 100, 3, 43)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// attribute correlation: mean pairwise Pearson across attributes.
+func meanCorrelation(pts []vecmath.Point) float64 {
+	d := len(pts[0])
+	n := float64(len(pts))
+	means := make([]float64, d)
+	for _, p := range pts {
+		for i, v := range p {
+			means[i] += v
+		}
+	}
+	for i := range means {
+		means[i] /= n
+	}
+	var total float64
+	var pairs int
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			var cov, vi, vj float64
+			for _, p := range pts {
+				a, b := p[i]-means[i], p[j]-means[j]
+				cov += a * b
+				vi += a * a
+				vj += b * b
+			}
+			total += cov / (sqrt(vi) * sqrt(vj))
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 1e-12
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+func TestDistributionCorrelations(t *testing.T) {
+	ind := meanCorrelation(Generate(IND, 20000, 4, 1))
+	cor := meanCorrelation(Generate(COR, 20000, 4, 1))
+	anti := meanCorrelation(Generate(ANTI, 20000, 4, 1))
+	if !(cor > 0.3) {
+		t.Errorf("COR correlation = %.3f, want strongly positive", cor)
+	}
+	if !(anti < -0.1) {
+		t.Errorf("ANTI correlation = %.3f, want negative", anti)
+	}
+	if ind < -0.05 || ind > 0.05 {
+		t.Errorf("IND correlation = %.3f, want near zero", ind)
+	}
+	if !(cor > ind && ind > anti) {
+		t.Errorf("ordering broken: cor=%.3f ind=%.3f anti=%.3f", cor, ind, anti)
+	}
+}
+
+// Skyline sizes must order ANTI > IND > COR — the property the paper's
+// Figure 8 analysis depends on.
+func TestSkylineSizeOrdering(t *testing.T) {
+	size := func(pts []vecmath.Point) int {
+		count := 0
+		for i, p := range pts {
+			dominated := false
+			for j, q := range pts {
+				if i != j && vecmath.DominatesStrict(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				count++
+			}
+		}
+		return count
+	}
+	n := 2000
+	sIND := size(Generate(IND, n, 3, 5))
+	sCOR := size(Generate(COR, n, 3, 5))
+	sANTI := size(Generate(ANTI, n, 3, 5))
+	if !(sANTI > sIND && sIND > sCOR) {
+		t.Fatalf("skyline sizes: ANTI=%d IND=%d COR=%d, want ANTI > IND > COR", sANTI, sIND, sCOR)
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for name, want := range map[string]Distribution{"IND": IND, "cor": COR, "ANTI": ANTI} {
+		got, err := ParseDistribution(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseDistribution(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Generate(IND, 50, 3, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("%d records after round trip", len(got))
+	}
+	for i := range pts {
+		if !got[i].Equal(pts[i]) {
+			t.Fatalf("record %d: %v != %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+	got, err := ReadCSV(strings.NewReader("# comment\n\n0.1,0.2\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("comments/blank lines mishandled: %v %v", got, err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []vecmath.Point{{0, 10, 5}, {50, 20, 5}, {100, 15, 5}}
+	Normalize(pts)
+	if pts[0][0] != 0 || pts[2][0] != 1 || pts[1][0] != 0.5 {
+		t.Fatalf("axis 0 misnormalised: %v", pts)
+	}
+	for _, p := range pts {
+		if p[2] != 0.5 {
+			t.Fatalf("constant axis should map to 0.5, got %g", p[2])
+		}
+	}
+}
+
+func TestRealProxies(t *testing.T) {
+	proxies := RealProxies(0.01)
+	if len(proxies) != 5 {
+		t.Fatalf("%d proxies", len(proxies))
+	}
+	wantDims := map[string]int{"HOTEL": 4, "HOUSE": 6, "NBA": 8, "PITCH": 8, "BAT": 9}
+	for _, rp := range proxies {
+		if rp.Dim != wantDims[rp.Name] {
+			t.Fatalf("%s dim = %d", rp.Name, rp.Dim)
+		}
+		pts := rp.Generate(3)
+		if len(pts) != rp.N {
+			t.Fatalf("%s: %d records, want %d", rp.Name, len(pts), rp.N)
+		}
+		for _, p := range pts[:10] {
+			for _, v := range p {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: value outside [0,1]", rp.Name)
+				}
+			}
+		}
+	}
+	if _, err := RealProxyByName("HOTEL", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RealProxyByName("NOPE", 1); err == nil {
+		t.Fatal("unknown proxy accepted")
+	}
+}
+
+// NBA must be less correlated than PITCH — the property the paper uses to
+// explain their Table 4 difference.
+func TestProxyCorrelationOrdering(t *testing.T) {
+	nba, _ := RealProxyByName("NBA", 0.2)
+	pitch, _ := RealProxyByName("PITCH", 0.2)
+	cNBA := meanCorrelation(nba.Generate(1))
+	cPITCH := meanCorrelation(pitch.Generate(1))
+	if !(cPITCH > cNBA) {
+		t.Fatalf("PITCH correlation %.3f should exceed NBA %.3f", cPITCH, cNBA)
+	}
+}

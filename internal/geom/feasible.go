@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/vecmath"
+)
+
+// InteriorTol is the margin below which an intersection is considered to
+// have zero extent. Cells of the half-space arrangement are open and (in
+// general position) full-dimensional, so "the cell is non-empty" in the
+// paper's sense is exactly "the closed intersection admits an interior ball
+// of radius > InteriorTol".
+const InteriorTol = 1e-9
+
+// epsCap bounds the margin variable so the feasibility LP is never
+// unbounded; any value larger than the domain diameter works.
+const epsCap = 10.0
+
+// FeasibleInterior decides whether the intersection of the given closed
+// half-spaces has non-empty interior, and if so returns a point strictly
+// inside every half-space together with the achieved margin (the radius of
+// the largest inscribed ball under the normalised constraints).
+//
+// All callers intersect within [0,1]^dr, so the implicit x >= 0 restriction
+// of the simplex standard form is harmless; include box constraints
+// explicitly via BoxConstraints when needed.
+func FeasibleInterior(hs []Halfspace) (witness vecmath.Point, margin float64, ok bool) {
+	if len(hs) == 0 {
+		return nil, 0, false
+	}
+	dr := hs[0].Dim()
+	nv := dr + 1 // x plus the margin variable eps
+	prob := lp.Problem{
+		C: make([]float64, nv),
+		A: make([][]float64, 0, len(hs)+1),
+		B: make([]float64, 0, len(hs)+1),
+	}
+	prob.C[dr] = 1 // maximize eps
+	for _, h := range hs {
+		norm := 0.0
+		for _, v := range h.A {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm <= InteriorTol {
+			// Degenerate constraint: either trivially true or trivially
+			// false regardless of x.
+			if h.B >= 0 {
+				return nil, 0, false
+			}
+			continue
+		}
+		row := make([]float64, nv)
+		for j, v := range h.A {
+			row[j] = -v / norm // a·x >= b + eps*norm  ⇔  -a/‖a‖·x + eps <= -b/‖a‖
+		}
+		row[dr] = 1
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, -h.B/norm)
+	}
+	capRow := make([]float64, nv)
+	capRow[dr] = 1
+	prob.A = append(prob.A, capRow)
+	prob.B = append(prob.B, epsCap)
+
+	sol, err := lp.Solve(prob)
+	if err != nil || sol.Status != lp.Optimal || sol.Value <= InteriorTol {
+		return nil, 0, false
+	}
+	w := make(vecmath.Point, dr)
+	copy(w, sol.X[:dr])
+	return w, sol.Value, true
+}
+
+// IntersectionNonEmpty reports whether the intersection of the closed
+// half-spaces contains any point at all (possibly lower-dimensional). It is
+// used by tests and by coarse pruning where strictness does not matter.
+func IntersectionNonEmpty(hs []Halfspace) bool {
+	if len(hs) == 0 {
+		return true
+	}
+	dr := hs[0].Dim()
+	prob := lp.Problem{
+		C: make([]float64, dr),
+		A: make([][]float64, 0, len(hs)),
+		B: make([]float64, 0, len(hs)),
+	}
+	for _, h := range hs {
+		row := make([]float64, dr)
+		for j, v := range h.A {
+			row[j] = -v
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, -h.B)
+	}
+	sol, err := lp.Solve(prob)
+	return err == nil && sol.Status == lp.Optimal
+}

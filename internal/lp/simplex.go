@@ -1,0 +1,306 @@
+// Package lp implements a small, dependency-free linear-programming solver:
+// a dense two-phase simplex method with Bland's anti-cycling rule.
+//
+// It fills the role Qhull plays in the paper's implementation: every
+// "compute the cell by half-space intersection" step of the MaxRank
+// algorithms only needs to know whether a cell has non-zero extent and, if
+// so, a witness point strictly inside it. Both reduce to one LP of the form
+//
+//	maximize  c·x   subject to  A·x <= b,  x >= 0,
+//
+// with at most a dozen variables, which the dense tableau handles quickly
+// and predictably.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: a finite optimum was found.
+	Optimal Status = iota
+	// Infeasible: the constraint set is empty.
+	Infeasible
+	// Unbounded: the objective is unbounded above on the feasible set.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program in the standard inequality form
+// maximize C·x subject to A·x <= B, x >= 0.
+type Problem struct {
+	C []float64   // objective coefficients, one per variable
+	A [][]float64 // constraint matrix, len(A) rows of len(C) coefficients
+	B []float64   // right-hand sides, one per row
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	X      []float64 // primal point (valid when Status == Optimal)
+	Value  float64   // objective value at X
+}
+
+// pivotTol treats reduced costs and pivot elements below this magnitude as
+// zero. The LPs arising from MaxRank cells are small and well scaled (data
+// in [0,1]), so a fixed tolerance is adequate.
+const pivotTol = 1e-9
+
+// maxIters bounds simplex iterations; Bland's rule guarantees termination
+// but a cap converts any latent numerical livelock into an explicit error.
+const maxIters = 100000
+
+// ErrIterationLimit is returned when the simplex fails to converge within
+// maxIters pivots; it indicates severe numerical trouble, not infeasibility.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [original variables | slack variables | artificial variables | RHS].
+type tableau struct {
+	rows  [][]float64 // m x (cols+1); last column is the RHS
+	obj   []float64   // objective row (reduced costs), length cols+1
+	basis []int       // basis[i] = column index basic in row i
+	n     int         // original variable count
+	m     int         // constraint count
+	cols  int         // total structural columns (n + slacks + artificials)
+	artLo int         // first artificial column (cols if none)
+
+	unbounded bool // set by iterate when no blocking row exists
+}
+
+// Solve runs the two-phase simplex on p.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n, m := len(p.C), len(p.A)
+
+	// Normalise rows to non-negative RHS; rows that had negative RHS get a
+	// -1 slack and therefore need an artificial variable.
+	needsArt := make([]bool, m)
+	nArt := 0
+	for i := range p.A {
+		if p.B[i] < 0 {
+			needsArt[i] = true
+			nArt++
+		}
+	}
+	cols := n + m + nArt
+	t := &tableau{
+		rows:  make([][]float64, m),
+		obj:   make([]float64, cols+1),
+		basis: make([]int, m),
+		n:     n,
+		m:     m,
+		cols:  cols,
+		artLo: n + m,
+	}
+	art := t.artLo
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		if needsArt[i] {
+			sign = -1.0
+		}
+		for j, v := range p.A[i] {
+			row[j] = sign * v
+		}
+		row[n+i] = sign // slack
+		row[cols] = sign * p.B[i]
+		if needsArt[i] {
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase 1: maximize z1 = −Σ artificials (c = −1 on artificial
+		// columns). The objective row starts as −c and is then made
+		// consistent with the initial basis by eliminating the coefficient
+		// of every artificial-basic column; afterwards obj[cols] tracks z1.
+		for j := t.artLo; j < cols; j++ {
+			t.obj[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artLo {
+				continue
+			}
+			row := t.rows[i]
+			for j := 0; j <= cols; j++ {
+				t.obj[j] -= row[j]
+			}
+		}
+		if err := t.iterate(true); err != nil {
+			return Solution{}, err
+		}
+		if t.obj[cols] < -pivotTol*float64(m+1) {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any lingering artificial variables out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artLo {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artLo; j++ {
+				if math.Abs(t.rows[i][j]) > pivotTol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over structural columns: redundant
+				// constraint; leave the artificial basic at value ~0. It can
+				// never re-enter because phase 2 excludes artificial columns.
+				t.rows[i][cols] = 0
+			}
+		}
+	}
+
+	// Phase 2: real objective. Build reduced-cost row for maximize C·x.
+	for j := 0; j <= cols; j++ {
+		t.obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t.obj[j] = -p.C[j]
+	}
+	// Make the objective row consistent with the current basis.
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < n && math.Abs(t.obj[b]) > 0 {
+			coef := t.obj[b]
+			for j := 0; j <= cols; j++ {
+				t.obj[j] -= coef * t.rows[i][j]
+			}
+		}
+	}
+	if err := t.iterate(false); err != nil {
+		return Solution{}, err
+	}
+	if t.unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < n {
+			x[b] = t.rows[i][t.cols]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Value: val}, nil
+}
+
+// unbounded is set by iterate when an entering column has no blocking row.
+func (t *tableau) pivot(r, c int) {
+	pr := t.rows[r]
+	pv := pr[c]
+	inv := 1 / pv
+	for j := 0; j <= t.cols; j++ {
+		pr[j] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][c]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.cols; j++ {
+			row[j] -= f * pr[j]
+		}
+	}
+	if f := t.obj[c]; f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= f * pr[j]
+		}
+	}
+	t.basis[r] = c
+}
+
+// iterate runs simplex pivots until optimality, unboundedness, or the
+// iteration cap. phase1 restricts nothing structurally but is kept for
+// symmetry; artificial columns are excluded from entering during phase 2.
+func (t *tableau) iterate(phase1 bool) error {
+	limit := t.cols
+	if !phase1 {
+		limit = t.artLo // never let artificials re-enter in phase 2
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland's rule: entering variable = lowest-index column with a
+		// negative reduced cost (we maximize; obj row holds z_j - c_j).
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t.obj[j] < -pivotTol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving variable: min ratio; ties broken by smallest basis index
+		// (the second half of Bland's rule).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a <= pivotTol {
+				continue
+			}
+			ratio := t.rows[i][t.cols] / a
+			if ratio < best-pivotTol || (math.Abs(ratio-best) <= pivotTol &&
+				(leave < 0 || t.basis[i] < t.basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			t.unbounded = true
+			return nil
+		}
+		t.pivot(leave, enter)
+	}
+	return ErrIterationLimit
+}

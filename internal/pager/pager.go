@@ -1,0 +1,142 @@
+// Package pager simulates the secondary-storage layer of the paper's
+// experimental setup: a page-oriented store with a fixed page size (4 KB by
+// default, matching Section 8) and read/write counters. The MaxRank
+// experiments report I/O cost as the number of page accesses, which is
+// hardware independent, so a faithful counter is all that is needed — no
+// actual disk is involved.
+package pager
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultPageSize matches the paper's 4 KByte disk pages.
+const DefaultPageSize = 4096
+
+// PageID identifies a page within a Store. Zero is never a valid page, so
+// the zero value can be used as a null reference.
+type PageID int64
+
+// NilPage is the null page reference.
+const NilPage PageID = 0
+
+// Stats counts page-level activity.
+type Stats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+}
+
+// Store is an in-memory simulation of a paged disk file. It is safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[PageID][]byte
+	next     PageID
+	stats    Stats
+	// countIO can be toggled off while bulk-building structures so that
+	// construction cost does not pollute query measurements.
+	countIO bool
+}
+
+// NewStore creates a store with the given page size (DefaultPageSize if
+// pageSize <= 0).
+func NewStore(pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Store{
+		pageSize: pageSize,
+		pages:    make(map[PageID][]byte),
+		next:     1,
+		countIO:  true,
+	}
+}
+
+// PageSize returns the configured page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Alloc reserves a new page and returns its ID.
+func (s *Store) Alloc() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	s.pages[id] = nil
+	s.stats.Allocs++
+	return id
+}
+
+// Write stores data in the page. Data longer than the page size is an
+// error: the caller (the R*-tree) sizes its nodes to fit.
+func (s *Store) Write(id PageID, data []byte) error {
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pager: %d bytes exceed page size %d", len(data), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[id]; !ok {
+		return fmt.Errorf("pager: write to unallocated page %d", id)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.pages[id] = buf
+	if s.countIO {
+		s.stats.Writes++
+	}
+	return nil
+}
+
+// Read returns the contents of the page. The returned slice must not be
+// modified by the caller.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
+	}
+	if s.countIO {
+		s.stats.Reads++
+	}
+	return data, nil
+}
+
+// Free releases a page.
+func (s *Store) Free(id PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pages, id)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters (typically called between the build phase
+// and the measured query phase).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// SetCounting toggles I/O accounting; construction code disables it so that
+// only query-time accesses are measured, mirroring the paper's methodology.
+func (s *Store) SetCounting(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.countIO = on
+}
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}

@@ -1,0 +1,131 @@
+package pager
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	s := NewStore(128)
+	id := s.Alloc()
+	if id == NilPage {
+		t.Fatal("alloc returned nil page")
+	}
+	data := []byte("hello pages")
+	if err := s.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("read %q", got)
+	}
+	st := s.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Allocs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteIsolation(t *testing.T) {
+	s := NewStore(64)
+	id := s.Alloc()
+	buf := []byte{1, 2, 3}
+	if err := s.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller mutation must not leak into the store
+	got, _ := s.Read(id)
+	if got[0] != 1 {
+		t.Fatal("store aliases caller buffer")
+	}
+}
+
+func TestPageSizeEnforced(t *testing.T) {
+	s := NewStore(8)
+	id := s.Alloc()
+	if err := s.Write(id, make([]byte, 9)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.Read(42); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	}
+	if err := s.Write(42, nil); err == nil {
+		t.Fatal("write to unallocated page succeeded")
+	}
+}
+
+func TestFree(t *testing.T) {
+	s := NewStore(0)
+	id := s.Alloc()
+	s.Free(id)
+	if _, err := s.Read(id); err == nil {
+		t.Fatal("read of freed page succeeded")
+	}
+	if s.NumPages() != 0 {
+		t.Fatalf("pages = %d", s.NumPages())
+	}
+}
+
+func TestCountingToggleAndReset(t *testing.T) {
+	s := NewStore(0)
+	id := s.Alloc()
+	_ = s.Write(id, []byte{1})
+	s.SetCounting(false)
+	_, _ = s.Read(id)
+	if s.Stats().Reads != 0 {
+		t.Fatal("read counted while counting disabled")
+	}
+	s.SetCounting(true)
+	_, _ = s.Read(id)
+	if s.Stats().Reads != 1 {
+		t.Fatal("read not counted")
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(0)
+	ids := make([]PageID, 64)
+	for i := range ids {
+		ids[i] = s.Alloc()
+		if err := s.Write(ids[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := ids[(g*31+i)%len(ids)]
+				if _, err := s.Read(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Stats().Reads != 8000 {
+		t.Fatalf("reads = %d", s.Stats().Reads)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	if NewStore(0).PageSize() != DefaultPageSize {
+		t.Fatal("default page size not applied")
+	}
+	if NewStore(-5).PageSize() != DefaultPageSize {
+		t.Fatal("negative page size not defaulted")
+	}
+}

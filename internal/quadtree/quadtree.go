@@ -1,0 +1,322 @@
+// Package quadtree implements the augmented Quad-tree of Section 5.1 of the
+// MaxRank paper: a 2^dr-ary space partitioning of the reduced query space
+// whose nodes record, for each inserted half-space, whether it fully
+// contains the node (stored only at the highest node where this first
+// becomes true, to avoid redundancy) or partly overlaps a leaf.
+//
+// Leaves split when their partial-overlap set exceeds a threshold, which
+// bounds the cost of within-leaf processing (internal/cellenum). Nodes that
+// fall entirely outside the domain simplex Σ q_i < 1 are discarded at
+// creation (the reduced query space is only "half of the unit hyper-cube").
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// HalfspaceRef is a registered half-space plus the metadata the MaxRank
+// algorithms track per record.
+type HalfspaceRef struct {
+	H        geom.Halfspace
+	RecordID int64
+	// Augmented marks half-spaces that may subsume not-yet-surfaced records
+	// (AA, Section 6). BA never sets it.
+	Augmented bool
+}
+
+// Options configures the tree.
+type Options struct {
+	// MaxPartial is the leaf split threshold on |Pl| (default 12).
+	MaxPartial int
+	// MaxDepth caps subdivision; a leaf at MaxDepth absorbs any number of
+	// partial half-spaces (default 12).
+	MaxDepth int
+}
+
+// DefaultMaxPartial is the default leaf split threshold.
+const DefaultMaxPartial = 12
+
+// defaultMaxDepth caps subdivision by reduced dimensionality: a node has
+// 2^dr children, so the worst-case leaf count is 2^(dr·depth); the caps keep
+// that below a few hundred thousand. Leaves at the cap simply keep larger
+// partial sets, which the within-leaf module handles (at CPU, not memory,
+// cost).
+func defaultMaxDepth(dr int) int {
+	switch dr {
+	case 1:
+		return 16
+	case 2:
+		return 9
+	case 3:
+		return 6
+	case 4:
+		return 4
+	case 5:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Tree is the augmented quad-tree.
+type Tree struct {
+	dr         int
+	maxPartial int
+	maxDepth   int
+	root       *node
+	refs       []*HalfspaceRef
+	byRecord   map[int64]int // record ID -> index in refs
+	nextNodeID int
+	// splitBound, when >= 0, stops leaves whose inherited full-containment
+	// count already exceeds it from splitting: such leaves are pruned by
+	// the |Fl| bound anyway, so refining them is wasted work. AA updates it
+	// as its interim result improves.
+	splitBound int
+}
+
+type node struct {
+	id       int
+	box      geom.Rect
+	depth    int
+	parent   *node
+	full     []int   // half-space indices fully containing this node but not its parent
+	partial  []int   // leaves only
+	children []*node // nil for leaves; entries may be nil (outside the simplex)
+	// version increments whenever the leaf's partial set or structure
+	// changes; callers use (id, version) to cache within-leaf results.
+	version int
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// New creates an empty tree over the reduced query space [0,1]^dr.
+func New(dr int, opts Options) (*Tree, error) {
+	if dr < 1 {
+		return nil, fmt.Errorf("quadtree: reduced dimensionality %d < 1", dr)
+	}
+	if dr > 16 {
+		return nil, fmt.Errorf("quadtree: reduced dimensionality %d too large (2^dr children)", dr)
+	}
+	mp := opts.MaxPartial
+	if mp <= 0 {
+		mp = DefaultMaxPartial
+	}
+	md := opts.MaxDepth
+	if md <= 0 {
+		md = defaultMaxDepth(dr)
+	}
+	return &Tree{
+		dr:         dr,
+		maxPartial: mp,
+		maxDepth:   md,
+		root:       &node{box: geom.UnitCube(dr)},
+		byRecord:   make(map[int64]int),
+		nextNodeID: 1,
+		splitBound: -1,
+	}, nil
+}
+
+// SetSplitBound limits refinement: leaves whose inherited |Fl| exceeds the
+// bound stop splitting (negative = unlimited). Purely a performance control;
+// correctness never depends on splits.
+func (t *Tree) SetSplitBound(b int) { t.splitBound = b }
+
+// Dim returns the reduced-space dimensionality.
+func (t *Tree) Dim() int { return t.dr }
+
+// NumHalfspaces returns the number of inserted half-spaces.
+func (t *Tree) NumHalfspaces() int { return len(t.refs) }
+
+// Ref returns the registered half-space with the given index.
+func (t *Tree) Ref(idx int) *HalfspaceRef { return t.refs[idx] }
+
+// RefByRecord returns the half-space registered for a record ID, if any.
+func (t *Tree) RefByRecord(recordID int64) (*HalfspaceRef, bool) {
+	idx, ok := t.byRecord[recordID]
+	if !ok {
+		return nil, false
+	}
+	return t.refs[idx], true
+}
+
+// insideSimplex reports whether any part of the box lies inside the domain
+// Σ q_i < 1 (the reduced query space constraint).
+func insideSimplex(box geom.Rect) bool {
+	var loSum float64
+	for _, v := range box.Lo {
+		loSum += v
+	}
+	return loSum < 1
+}
+
+// Insert registers a half-space and threads it through the tree. It returns
+// the half-space index.
+func (t *Tree) Insert(ref *HalfspaceRef) int {
+	idx := len(t.refs)
+	t.refs = append(t.refs, ref)
+	t.byRecord[ref.RecordID] = idx
+	t.insertAt(t.root, idx, 0)
+	return idx
+}
+
+func (t *Tree) insertAt(n *node, idx, inheritedFull int) {
+	switch t.refs[idx].H.Classify(n.box) {
+	case geom.BoxOutside:
+		return
+	case geom.BoxInside:
+		n.full = append(n.full, idx)
+		return
+	}
+	if n.leaf() {
+		n.partial = append(n.partial, idx)
+		n.version++
+		if len(n.partial) > t.maxPartial && n.depth < t.maxDepth &&
+			(t.splitBound < 0 || inheritedFull+len(n.full) <= t.splitBound) {
+			t.split(n)
+		}
+		return
+	}
+	inheritedFull += len(n.full)
+	for _, c := range n.children {
+		if c != nil {
+			t.insertAt(c, idx, inheritedFull)
+		}
+	}
+}
+
+// split subdivides a leaf into 2^dr children and redistributes its partial
+// set. Children entirely outside the domain simplex are not created.
+func (t *Tree) split(n *node) {
+	k := 1 << uint(t.dr)
+	n.children = make([]*node, k)
+	n.version++
+	center := n.box.Center()
+	for mask := 0; mask < k; mask++ {
+		lo := n.box.Lo.Clone()
+		hi := n.box.Hi.Clone()
+		for axis := 0; axis < t.dr; axis++ {
+			if mask&(1<<uint(axis)) != 0 {
+				lo[axis] = center[axis]
+			} else {
+				hi[axis] = center[axis]
+			}
+		}
+		child := &node{
+			id:     t.nextNodeID,
+			box:    geom.Rect{Lo: lo, Hi: hi},
+			depth:  n.depth + 1,
+			parent: n,
+		}
+		t.nextNodeID++
+		if !insideSimplex(child.box) {
+			continue // outside Σ q_i < 1: discard
+		}
+		n.children[mask] = child
+		for _, idx := range n.partial {
+			switch t.refs[idx].H.Classify(child.box) {
+			case geom.BoxInside:
+				child.full = append(child.full, idx)
+			case geom.BoxPartial:
+				child.partial = append(child.partial, idx)
+			}
+		}
+		// The child may inherit more crossings than the threshold allows;
+		// keep splitting (bounded by the depth cap).
+		if len(child.partial) > t.maxPartial && child.depth < t.maxDepth {
+			t.split(child)
+		}
+	}
+	n.partial = nil
+}
+
+// Leaf is a lightweight handle to one quad-tree leaf. Assembling the full
+// containment set costs an ancestor walk, so it is done lazily: the MaxRank
+// algorithms prune most leaves using only FullCount.
+type Leaf struct {
+	n         *node
+	fullCount int
+}
+
+// Box returns the leaf extent (shared storage; treat as read-only).
+func (l Leaf) Box() geom.Rect { return l.n.box }
+
+// FullCount returns |F_l| without materialising the set.
+func (l Leaf) FullCount() int { return l.fullCount }
+
+// Full assembles F_l — the indices of half-spaces fully containing the
+// leaf — from the leaf and its ancestors.
+func (l Leaf) Full() []int {
+	out := make([]int, 0, l.fullCount)
+	for n := l.n; n != nil; n = n.parent {
+		out = append(out, n.full...)
+	}
+	return out
+}
+
+// Partial returns P_l, the half-spaces partly overlapping the leaf (shared
+// storage; treat as read-only).
+func (l Leaf) Partial() []int { return l.n.partial }
+
+// NodeID identifies the underlying quad-tree node; together with Version it
+// forms a cache key for within-leaf results.
+func (l Leaf) NodeID() int { return l.n.id }
+
+// Version increments whenever the leaf's partial set changes or the node is
+// split; cached within-leaf results for older versions are stale.
+func (l Leaf) Version() int { return l.n.version }
+
+// Leaves returns handles to all live leaves with their |F_l| counts.
+func (t *Tree) Leaves() []Leaf {
+	var out []Leaf
+	var walk func(n *node, inheritedCount int)
+	walk = func(n *node, inheritedCount int) {
+		count := inheritedCount + len(n.full)
+		if n.leaf() {
+			out = append(out, Leaf{n: n, fullCount: count})
+			return
+		}
+		for _, c := range n.children {
+			if c != nil {
+				walk(c, count)
+			}
+		}
+	}
+	walk(t.root, 0)
+	return out
+}
+
+// Stats summarises the tree shape (used by experiments and tests).
+type Stats struct {
+	Leaves     int
+	MaxDepth   int
+	MaxPartial int
+	TotalFull  int
+}
+
+// Stats computes shape statistics.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.depth > s.MaxDepth {
+			s.MaxDepth = n.depth
+		}
+		s.TotalFull += len(n.full)
+		if n.leaf() {
+			s.Leaves++
+			if len(n.partial) > s.MaxPartial {
+				s.MaxPartial = len(n.partial)
+			}
+			return
+		}
+		for _, c := range n.children {
+			if c != nil {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return s
+}

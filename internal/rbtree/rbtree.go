@@ -1,0 +1,387 @@
+// Package rbtree implements a classic red-black tree keyed by float64, used
+// as the sorted container the paper prescribes for the 1-dimensional mixed
+// arrangement of the d = 2 specialisation of AA (Section 6.3: "the sorted
+// list is implemented as a sorted container, e.g., a red-black tree").
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a tree node with a float64 key and an arbitrary payload.
+type Node struct {
+	Key   float64
+	Value any
+
+	parent, left, right *Node
+	col                 color
+}
+
+// Tree is a red-black tree. Duplicate keys are not permitted: Insert on an
+// existing key returns the existing node so the caller can merge payloads.
+type Tree struct {
+	root *Node
+	size int
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return t.size }
+
+// Find returns the node with the given key, or nil.
+func (t *Tree) Find(key float64) *Node {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.Key:
+			n = n.left
+		case key > n.Key:
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Min returns the smallest-key node, or nil for an empty tree.
+func (t *Tree) Min() *Node {
+	if t.root == nil {
+		return nil
+	}
+	return t.root.min()
+}
+
+// Max returns the largest-key node, or nil for an empty tree.
+func (t *Tree) Max() *Node {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+func (n *Node) min() *Node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Next returns the in-order successor of n, or nil.
+func (n *Node) Next() *Node {
+	if n.right != nil {
+		return n.right.min()
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Prev returns the in-order predecessor of n, or nil.
+func (n *Node) Prev() *Node {
+	if n.left != nil {
+		m := n.left
+		for m.right != nil {
+			m = m.right
+		}
+		return m
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Insert adds a key with the given value, or returns the existing node
+// (inserted == false) when the key is already present.
+func (t *Tree) Insert(key float64, value any) (n *Node, inserted bool) {
+	var parent *Node
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		switch {
+		case key < parent.Key:
+			link = &parent.left
+		case key > parent.Key:
+			link = &parent.right
+		default:
+			return parent, false
+		}
+	}
+	n = &Node{Key: key, Value: value, parent: parent, col: red}
+	*link = n
+	t.size++
+	t.insertFixup(n)
+	return n, true
+}
+
+func (t *Tree) rotateLeft(x *Node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree) rotateRight(x *Node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree) insertFixup(z *Node) {
+	for z.parent != nil && z.parent.col == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.col == red {
+				z.parent.col = black
+				uncle.col = black
+				gp.col = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.col = black
+			gp.col = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.col == red {
+				z.parent.col = black
+				uncle.col = black
+				gp.col = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.col = black
+			gp.col = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.col = black
+}
+
+// Delete removes the node with the given key, reporting whether it existed.
+func (t *Tree) Delete(key float64) bool {
+	z := t.Find(key)
+	if z == nil {
+		return false
+	}
+	t.deleteNode(z)
+	t.size--
+	return true
+}
+
+func (t *Tree) transplant(u, v *Node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree) deleteNode(z *Node) {
+	y := z
+	yCol := y.col
+	var x, xParent *Node
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = z.right.min()
+		yCol = y.col
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.col = z.col
+	}
+	if yCol == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *Tree) deleteFixup(x, xParent *Node) {
+	for x != t.root && isBlack(x) {
+		if xParent == nil {
+			break
+		}
+		if x == xParent.left {
+			w := xParent.right
+			if !isBlack(w) {
+				w.col = black
+				xParent.col = red
+				t.rotateLeft(xParent)
+				w = xParent.right
+			}
+			if w == nil {
+				x, xParent = xParent, xParent.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.col = red
+				x, xParent = xParent, xParent.parent
+				continue
+			}
+			if isBlack(w.right) {
+				if w.left != nil {
+					w.left.col = black
+				}
+				w.col = red
+				t.rotateRight(w)
+				w = xParent.right
+			}
+			w.col = xParent.col
+			xParent.col = black
+			if w.right != nil {
+				w.right.col = black
+			}
+			t.rotateLeft(xParent)
+			x = t.root
+			xParent = nil
+		} else {
+			w := xParent.left
+			if !isBlack(w) {
+				w.col = black
+				xParent.col = red
+				t.rotateRight(xParent)
+				w = xParent.left
+			}
+			if w == nil {
+				x, xParent = xParent, xParent.parent
+				continue
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.col = red
+				x, xParent = xParent, xParent.parent
+				continue
+			}
+			if isBlack(w.left) {
+				if w.right != nil {
+					w.right.col = black
+				}
+				w.col = red
+				t.rotateLeft(w)
+				w = xParent.left
+			}
+			w.col = xParent.col
+			xParent.col = black
+			if w.left != nil {
+				w.left.col = black
+			}
+			t.rotateRight(xParent)
+			x = t.root
+			xParent = nil
+		}
+	}
+	if x != nil {
+		x.col = black
+	}
+}
+
+func isBlack(n *Node) bool { return n == nil || n.col == black }
+
+// Ascend visits nodes in increasing key order; fn returning false stops.
+func (t *Tree) Ascend(fn func(n *Node) bool) {
+	for n := t.Min(); n != nil; n = n.Next() {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// CheckInvariants verifies red-black and BST properties (test support).
+// It returns the black height, or -1 with ok=false on violation.
+func (t *Tree) CheckInvariants() (blackHeight int, ok bool) {
+	if t.root != nil && t.root.col != black {
+		return -1, false
+	}
+	return checkNode(t.root, -1e308, 1e308)
+}
+
+func checkNode(n *Node, lo, hi float64) (int, bool) {
+	if n == nil {
+		return 1, true
+	}
+	if n.Key <= lo || n.Key >= hi {
+		return -1, false
+	}
+	if n.col == red {
+		if !isBlack(n.left) || !isBlack(n.right) {
+			return -1, false
+		}
+	}
+	lh, lok := checkNode(n.left, lo, n.Key)
+	rh, rok := checkNode(n.right, n.Key, hi)
+	if !lok || !rok || lh != rh {
+		return -1, false
+	}
+	if n.col == black {
+		lh++
+	}
+	return lh, true
+}

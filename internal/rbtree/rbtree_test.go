@@ -1,0 +1,145 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInsertFindAscend(t *testing.T) {
+	tr := New()
+	keys := []float64{0.5, 0.2, 0.8, 0.1, 0.9, 0.3, 0.7}
+	for i, k := range keys {
+		if _, inserted := tr.Insert(k, i); !inserted {
+			t.Fatalf("key %g reported duplicate", k)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if n := tr.Find(0.3); n == nil || n.Value.(int) != 5 {
+		t.Fatal("find failed")
+	}
+	if tr.Find(0.35) != nil {
+		t.Fatal("found a non-existent key")
+	}
+	var got []float64
+	tr.Ascend(func(n *Node) bool {
+		got = append(got, n.Key)
+		return true
+	})
+	if !sort.Float64sAreSorted(got) || len(got) != len(keys) {
+		t.Fatalf("ascend order broken: %v", got)
+	}
+	if _, ok := tr.CheckInvariants(); !ok {
+		t.Fatal("red-black invariants violated")
+	}
+}
+
+func TestDuplicateInsertMerges(t *testing.T) {
+	tr := New()
+	n1, ins1 := tr.Insert(1.5, "a")
+	n2, ins2 := tr.Insert(1.5, "b")
+	if !ins1 || ins2 {
+		t.Fatal("duplicate handling broken")
+	}
+	if n1 != n2 || n1.Value.(string) != "a" {
+		t.Fatal("existing node not returned")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestMinMaxNextPrev(t *testing.T) {
+	tr := New()
+	for _, k := range []float64{5, 3, 8, 1, 4, 7, 9} {
+		tr.Insert(k, nil)
+	}
+	if tr.Min().Key != 1 || tr.Max().Key != 9 {
+		t.Fatalf("min/max = %g/%g", tr.Min().Key, tr.Max().Key)
+	}
+	var forward []float64
+	for n := tr.Min(); n != nil; n = n.Next() {
+		forward = append(forward, n.Key)
+	}
+	var backward []float64
+	for n := tr.Max(); n != nil; n = n.Prev() {
+		backward = append(backward, n.Key)
+	}
+	for i := range forward {
+		if forward[i] != backward[len(backward)-1-i] {
+			t.Fatalf("next/prev asymmetry: %v vs %v", forward, backward)
+		}
+	}
+}
+
+func TestRandomizedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	ref := map[float64]bool{}
+	for op := 0; op < 20000; op++ {
+		k := float64(rng.Intn(500))
+		if rng.Intn(2) == 0 {
+			_, ins := tr.Insert(k, nil)
+			if ins == ref[k] {
+				t.Fatalf("op %d: insert(%g) reported %v but ref has %v", op, k, ins, ref[k])
+			}
+			ref[k] = true
+		} else {
+			del := tr.Delete(k)
+			if del != ref[k] {
+				t.Fatalf("op %d: delete(%g) reported %v but ref has %v", op, k, del, ref[k])
+			}
+			delete(ref, k)
+		}
+		if op%500 == 0 {
+			if _, ok := tr.CheckInvariants(); !ok {
+				t.Fatalf("op %d: invariants violated", op)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("op %d: len %d != ref %d", op, tr.Len(), len(ref))
+			}
+		}
+	}
+	if _, ok := tr.CheckInvariants(); !ok {
+		t.Fatal("final invariants violated")
+	}
+	var got []float64
+	tr.Ascend(func(n *Node) bool { got = append(got, n.Key); return true })
+	if len(got) != len(ref) {
+		t.Fatalf("ascend count %d != ref %d", len(got), len(ref))
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatal("ascend not sorted after deletes")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Min() != nil || tr.Max() != nil || tr.Find(1) != nil {
+		t.Fatal("empty tree misbehaves")
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+	if _, ok := tr.CheckInvariants(); !ok {
+		t.Fatal("empty tree invariants")
+	}
+	tr.Ascend(func(*Node) bool { t.Fatal("ascend visited a node"); return false })
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), nil)
+	}
+	count := 0
+	tr.Ascend(func(*Node) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("visited %d nodes", count)
+	}
+}

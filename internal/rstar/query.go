@@ -1,0 +1,158 @@
+package rstar
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+	"repro/internal/vecmath"
+)
+
+// RangeCount returns the number of records inside the query window (closed
+// box) using the aggregate counts: subtrees fully contained in the window
+// contribute their count without being read, which is how the paper derives
+// the dominator count |D+| cheaply (Section 5).
+func (t *Tree) RangeCount(window geom.Rect) (int64, error) {
+	return t.rangeCount(t.root, window)
+}
+
+func (t *Tree) rangeCount(id pager.PageID, window geom.Rect) (int64, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !window.Intersects(e.Rect) {
+			continue
+		}
+		if n.Leaf() {
+			if window.Contains(e.Point()) {
+				total++
+			}
+			continue
+		}
+		if window.ContainsRect(e.Rect) {
+			total += e.Count // aggregate shortcut: no descent, no I/O
+			continue
+		}
+		sub, err := t.rangeCount(e.Child, window)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+// Item is a record reported by a range search.
+type Item struct {
+	Point    vecmath.Point
+	RecordID int64
+}
+
+// RangeSearch invokes fn for every record inside the window. Returning
+// false from fn stops the search early.
+func (t *Tree) RangeSearch(window geom.Rect, fn func(Item) bool) error {
+	_, err := t.rangeSearch(t.root, window, fn)
+	return err
+}
+
+func (t *Tree) rangeSearch(id pager.PageID, window geom.Rect, fn func(Item) bool) (bool, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, err
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !window.Intersects(e.Rect) {
+			continue
+		}
+		if n.Leaf() {
+			if window.Contains(e.Point()) {
+				if !fn(Item{Point: e.Point(), RecordID: e.RecordID}) {
+					return false, nil
+				}
+			}
+			continue
+		}
+		cont, err := t.rangeSearch(e.Child, window, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Walk visits every record in the tree (a full scan, charged as I/O).
+func (t *Tree) Walk(fn func(Item) bool) error {
+	lo := make(vecmath.Point, t.dim)
+	hi := make(vecmath.Point, t.dim)
+	for i := range lo {
+		lo[i] = negInf
+		hi[i] = posInf
+	}
+	return t.RangeSearch(geom.Rect{Lo: lo, Hi: hi}, fn)
+}
+
+const (
+	negInf = -1e308
+	posInf = 1e308
+)
+
+// CheckInvariants validates structural invariants: MBR containment, entry
+// count bounds, aggregate count consistency, and uniform leaf depth. It is
+// used by tests and returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	_, _, err := t.checkNode(t.root, t.height-1, true)
+	return err
+}
+
+func (t *Tree) checkNode(id pager.PageID, expectLevel int, isRoot bool) (geom.Rect, int64, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return geom.Rect{}, 0, err
+	}
+	if n.Level != expectLevel {
+		return geom.Rect{}, 0, errf("node %d at level %d, expected %d", id, n.Level, expectLevel)
+	}
+	if len(n.Entries) == 0 {
+		if !isRoot || t.size != 0 {
+			return geom.Rect{}, 0, errf("node %d is empty", id)
+		}
+		return geom.UnitCube(t.dim), 0, nil
+	}
+	if !isRoot && len(n.Entries) < t.minEntriesFor(n) {
+		return geom.Rect{}, 0, errf("node %d underfull: %d < %d", id, len(n.Entries), t.minEntriesFor(n))
+	}
+	if len(n.Entries) > t.maxEntriesFor(n) {
+		return geom.Rect{}, 0, errf("node %d overfull: %d > %d", id, len(n.Entries), t.maxEntriesFor(n))
+	}
+	var total int64
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if n.Leaf() {
+			total++
+			continue
+		}
+		childRect, childCount, err := t.checkNode(e.Child, n.Level-1, false)
+		if err != nil {
+			return geom.Rect{}, 0, err
+		}
+		if !e.Rect.ContainsRect(childRect) {
+			return geom.Rect{}, 0, errf("node %d entry %d MBR %v does not contain child MBR %v",
+				id, i, e.Rect, childRect)
+		}
+		if e.Count != childCount {
+			return geom.Rect{}, 0, errf("node %d entry %d count %d != subtree count %d",
+				id, i, e.Count, childCount)
+		}
+		total += childCount
+	}
+	return n.MBR(), total, nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("rstar: invariant violated: "+format, args...)
+}

@@ -1,0 +1,320 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pager"
+	"repro/internal/vecmath"
+)
+
+func randomPoints(rng *rand.Rand, n, d int) []vecmath.Point {
+	pts := make([]vecmath.Point, n)
+	for i := range pts {
+		p := make(vecmath.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func newTree(t *testing.T, d int) (*Tree, *pager.Store) {
+	t.Helper()
+	store := pager.NewStore(0)
+	tree, err := New(store, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, store
+}
+
+func TestInsertAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, _ := newTree(t, 3)
+	pts := randomPoints(rng, 2000, 3)
+	for i, p := range pts {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Size() != 2000 {
+		t.Fatalf("size = %d", tree.Size())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() < 2 {
+		t.Fatalf("height = %d, expected a multi-level tree", tree.Height())
+	}
+}
+
+func TestBulkLoadAndInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 100, 5000} {
+		tree, _ := newTree(t, 4)
+		pts := randomPoints(rng, n, 4)
+		if err := tree.BulkLoad(pts, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tree.Size() != int64(n) {
+			t.Fatalf("n=%d: size = %d", n, tree.Size())
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestRangeCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 3000, 3)
+	for _, build := range []string{"insert", "bulk"} {
+		tree, _ := newTree(t, 3)
+		if build == "insert" {
+			for i, p := range pts {
+				if err := tree.Insert(p, int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := tree.BulkLoad(pts, nil); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			lo := make(vecmath.Point, 3)
+			hi := make(vecmath.Point, 3)
+			for j := 0; j < 3; j++ {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			window := geom.Rect{Lo: lo, Hi: hi}
+			want := int64(0)
+			for _, p := range pts {
+				if window.Contains(p) {
+					want++
+				}
+			}
+			got, err := tree.RangeCount(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s trial %d: count = %d, want %d", build, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeSearchReportsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 1000, 2)
+	tree, _ := newTree(t, 2)
+	if err := tree.BulkLoad(pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	window := geom.MustRect(vecmath.Point{0.2, 0.2}, vecmath.Point{0.7, 0.7})
+	seen := map[int64]bool{}
+	err := tree.RangeSearch(window, func(it Item) bool {
+		seen[it.RecordID] = true
+		if !window.Contains(it.Point) {
+			t.Fatalf("record %d outside window", it.RecordID)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if window.Contains(p) != seen[int64(i)] {
+			t.Fatalf("record %d misreported", i)
+		}
+	}
+}
+
+func TestRangeSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 500, 2)
+	tree, _ := newTree(t, 2)
+	if err := tree.BulkLoad(pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := tree.Walk(func(Item) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("early stop visited %d records", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomPoints(rng, 800, 2)
+	tree, _ := newTree(t, 2)
+	for i, p := range pts {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete half the records and verify counts and invariants.
+	for i := 0; i < 400; i++ {
+		okDel, err := tree.Delete(pts[i], int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okDel {
+			t.Fatalf("record %d not found for deletion", i)
+		}
+	}
+	if tree.Size() != 400 {
+		t.Fatalf("size = %d, want 400", tree.Size())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted records are gone; survivors remain.
+	all := geom.UnitCube(2)
+	got, err := tree.RangeCount(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 400 {
+		t.Fatalf("range count = %d, want 400", got)
+	}
+	// Deleting a non-existent record reports false.
+	okDel, err := tree.Delete(pts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okDel {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 1500, 3)
+	store := pager.NewStore(0)
+	tree, err := New(store, 3, Options{}) // DirectMemory off: reads decode pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	// Every query below decodes nodes from page bytes.
+	window := geom.MustRect(vecmath.Point{0.1, 0.1, 0.1}, vecmath.Point{0.9, 0.9, 0.9})
+	want := int64(0)
+	for _, p := range pts {
+		if window.Contains(p) {
+			want++
+		}
+	}
+	got, err := tree.RangeCount(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decoded count = %d, want %d", got, want)
+	}
+	if store.Stats().Reads == 0 {
+		t.Fatal("no page reads counted")
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateShortcutSavesIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randomPoints(rng, 20000, 2)
+	store := pager.NewStore(0)
+	tree, err := New(store, 2, Options{DirectMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad(pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	// A huge window should be answered mostly from aggregate counts.
+	window := geom.MustRect(vecmath.Point{0.01, 0.01}, vecmath.Point{0.99, 0.99})
+	if _, err := tree.RangeCount(window); err != nil {
+		t.Fatal(err)
+	}
+	countIO := store.Stats().Reads
+	store.ResetStats()
+	found := 0
+	if err := tree.RangeSearch(window, func(Item) bool { found++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	searchIO := store.Stats().Reads
+	if countIO*2 > searchIO {
+		t.Fatalf("aggregate count used %d reads vs search %d: shortcut not effective", countIO, searchIO)
+	}
+}
+
+func TestPageSizeFanout(t *testing.T) {
+	if f := MaxLeafEntries(4096, 4); f != (4096-8)/40 {
+		t.Fatalf("leaf fanout = %d", f)
+	}
+	if f := MaxBranchEntries(4096, 4); f != (4096-8)/80 {
+		t.Fatalf("branch fanout = %d", f)
+	}
+	store := pager.NewStore(64)
+	if _, err := New(store, 8, Options{}); err == nil {
+		t.Fatal("tiny pages should be rejected")
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	tree, _ := newTree(t, 2)
+	if err := tree.Insert(vecmath.Point{1, 2, 3}, 0); err == nil {
+		t.Fatal("wrong-dim insert accepted")
+	}
+	if _, err := tree.Delete(vecmath.Point{1}, 0); err == nil {
+		t.Fatal("wrong-dim delete accepted")
+	}
+	if err := tree.BulkLoad([]vecmath.Point{{1, 2, 3}}, nil); err == nil {
+		t.Fatal("wrong-dim bulk load accepted")
+	}
+	if err := tree.BulkLoad([]vecmath.Point{{1, 2}}, []int64{1, 2}); err == nil {
+		t.Fatal("mismatched ids accepted")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tree, _ := newTree(t, 2)
+	p := vecmath.Point{0.5, 0.5}
+	for i := 0; i < 300; i++ {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.RangeCount(geom.PointRect(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 300 {
+		t.Fatalf("duplicate count = %d", got)
+	}
+}

@@ -1,0 +1,255 @@
+// Package skyline implements the Branch-and-Bound Skyline algorithm (BBS,
+// Papadias et al., TODS 2005) over the aggregate R*-tree, specialised for
+// MaxRank's advanced approach (paper Section 6.2):
+//
+//   - only records *incomparable* to the focal record participate
+//     (dominator and dominee subtrees are pruned at the MBR level);
+//   - entries dominated by a current skyline record are *parked* under that
+//     record instead of being discarded — this realises the paper's
+//     implicit subsumption: the parked records are exactly those records
+//     whose half-spaces are subsumed under the dominating record's
+//     half-space;
+//   - Expand(r) removes r from the skyline and releases its parked entries
+//     back into the (reused) search heap, so no R*-tree node is ever read
+//     twice, matching the paper's I/O claim.
+package skyline
+
+import (
+	"fmt"
+
+	"repro/internal/pager"
+	"repro/internal/rstar"
+	"repro/internal/vecmath"
+)
+
+// Record is a data record surfaced by the maintainer.
+type Record struct {
+	Point vecmath.Point
+	ID    int64
+}
+
+// entry is a heap element: either an R*-tree node reference or a record.
+type entry struct {
+	key    float64 // upper bound of coordinate sum within the entry
+	isNode bool
+	child  pager.PageID  // when isNode
+	hi     vecmath.Point // MBR top corner (node) — dominance upper bound
+	lo     vecmath.Point // MBR bottom corner (node)
+	rec    Record        // when !isNode
+}
+
+// Maintainer is an incremental skyline of the records incomparable to the
+// focal record.
+type Maintainer struct {
+	tree    *rstar.Tree
+	focal   vecmath.Point
+	focalID int64
+
+	heap     []entry
+	active   []Record          // skyline members in discovery order (incl. expanded)
+	live     []bool            // live[i]: active[i] not yet expanded
+	activeID map[int64]int     // record ID -> index in active
+	expanded map[int64]bool    // records expanded (removed) so far
+	parked   map[int64][]entry // entries parked under an active record
+	accessed int64             // records touched (for the n_a statistic)
+}
+
+// New creates a maintainer for the records of tree that are incomparable to
+// focal. focalID identifies the focal record itself inside the tree (pass a
+// negative value when the focal record is not part of the dataset).
+func New(tree *rstar.Tree, focal vecmath.Point, focalID int64) (*Maintainer, error) {
+	if len(focal) != tree.Dim() {
+		return nil, fmt.Errorf("skyline: focal dim %d != tree dim %d", len(focal), tree.Dim())
+	}
+	m := &Maintainer{
+		tree:     tree,
+		focal:    focal.Clone(),
+		focalID:  focalID,
+		activeID: make(map[int64]int),
+		expanded: make(map[int64]bool),
+		parked:   make(map[int64][]entry),
+	}
+	root, err := tree.ReadNode(tree.Root())
+	if err != nil {
+		return nil, err
+	}
+	m.pushNodeEntries(root)
+	return m, nil
+}
+
+// Skyline drains the search heap and returns the skyline records discovered
+// by this call (the full current skyline is available via Active).
+func (m *Maintainer) Skyline() ([]Record, error) { return m.drain() }
+
+// Active returns the current (non-expanded) skyline members.
+func (m *Maintainer) Active() []Record {
+	out := make([]Record, 0, len(m.active))
+	for i, r := range m.active {
+		if m.live[i] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Accessed returns the number of incomparable records surfaced so far (the
+// paper's n_a).
+func (m *Maintainer) Accessed() int64 { return m.accessed }
+
+// Expand removes an active skyline record and releases the entries parked
+// under it, then drains the heap. It returns the skyline records that the
+// expansion uncovered.
+func (m *Maintainer) Expand(id int64) ([]Record, error) {
+	idx, ok := m.activeID[id]
+	if !ok || !m.live[idx] {
+		return nil, fmt.Errorf("skyline: expand of non-active record %d", id)
+	}
+	m.live[idx] = false
+	m.expanded[id] = true
+	for _, e := range m.parked[id] {
+		m.push(e)
+	}
+	delete(m.parked, id)
+	return m.drain()
+}
+
+// drain processes heap entries in best-first order until the heap is empty.
+func (m *Maintainer) drain() ([]Record, error) {
+	var added []Record
+	for len(m.heap) > 0 {
+		e := m.pop()
+		if e.isNode {
+			if dom := m.dominatingActive(e.hi); dom >= 0 {
+				m.park(dom, e)
+				continue
+			}
+			node, err := m.tree.ReadNode(e.child)
+			if err != nil {
+				return nil, err
+			}
+			m.pushNodeEntries(node)
+			continue
+		}
+		if dom := m.dominatingActive(e.rec.Point); dom >= 0 {
+			m.park(dom, e)
+			continue
+		}
+		m.active = append(m.active, e.rec)
+		m.live = append(m.live, true)
+		m.activeID[e.rec.ID] = len(m.active) - 1
+		added = append(added, e.rec)
+	}
+	return added, nil
+}
+
+// pushNodeEntries filters a node's entries against the incomparability
+// window and pushes survivors onto the heap.
+func (m *Maintainer) pushNodeEntries(n *rstar.Node) {
+	for i := range n.Entries {
+		ne := &n.Entries[i]
+		if n.Leaf() {
+			if ne.RecordID == m.focalID {
+				continue
+			}
+			switch vecmath.Compare(ne.Point(), m.focal) {
+			case vecmath.Incomparable:
+				m.accessed++
+				p := ne.Point().Clone()
+				m.push(entry{key: p.Sum(), rec: Record{Point: p, ID: ne.RecordID}})
+			default:
+				// Dominators are counted separately via RangeCount; dominees
+				// and duplicates of the focal record are irrelevant.
+			}
+			continue
+		}
+		// Subtree filters: all-dominee and all-dominator boxes are pruned.
+		if dominatesOrEqual(m.focal, ne.Rect.Hi) {
+			continue // every record inside is dominated by (or equals) focal
+		}
+		if dominatesOrEqual(ne.Rect.Lo, m.focal) {
+			continue // every record inside dominates (or equals) focal
+		}
+		m.push(entry{
+			key:    ne.Rect.Hi.Sum(),
+			isNode: true,
+			child:  ne.Child,
+			hi:     ne.Rect.Hi.Clone(),
+			lo:     ne.Rect.Lo.Clone(),
+		})
+	}
+}
+
+// dominatingActive returns the index of an active skyline record that
+// dominates the given upper-bound point, or -1.
+func (m *Maintainer) dominatingActive(hi vecmath.Point) int {
+	for i, r := range m.active {
+		if !m.live[i] {
+			continue
+		}
+		if vecmath.DominatesStrict(r.Point, hi) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *Maintainer) park(activeIdx int, e entry) {
+	id := m.active[activeIdx].ID
+	m.parked[id] = append(m.parked[id], e)
+}
+
+// dominatesOrEqual reports a >= b on every axis.
+func dominatesOrEqual(a, b vecmath.Point) bool {
+	for i, v := range a {
+		if v < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- binary max-heap keyed by (key desc, nodes before records) ---
+
+func entryLess(a, b entry) bool { // true when a has higher priority
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	return a.isNode && !b.isNode
+}
+
+func (m *Maintainer) push(e entry) {
+	m.heap = append(m.heap, e)
+	i := len(m.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(m.heap[i], m.heap[parent]) {
+			break
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *Maintainer) pop() entry {
+	top := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(m.heap) && entryLess(m.heap[l], m.heap[best]) {
+			best = l
+		}
+		if r < len(m.heap) && entryLess(m.heap[r], m.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		m.heap[i], m.heap[best] = m.heap[best], m.heap[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,91 @@
+package repro
+
+import "fmt"
+
+// Algorithm selects the MaxRank processing strategy.
+type Algorithm int
+
+const (
+	// Auto picks the paper's best algorithm for the dimensionality: the
+	// specialised AA for d = 2 and the general AA otherwise.
+	Auto Algorithm = iota
+	// FCA is the first-cut score-line sweep, d = 2 only (Section 4).
+	FCA
+	// BA is the basic approach: every incomparable record's half-space is
+	// materialised (Section 5). It does not scale; it exists as the paper's
+	// baseline.
+	BA
+	// AA is the advanced approach with implicit half-space subsumption
+	// (Section 6); for d = 2 it uses the sorted-list specialisation of
+	// Section 6.3.
+	AA
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "Auto"
+	case FCA:
+		return "FCA"
+	case BA:
+		return "BA"
+	case AA:
+		return "AA"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a name to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "auto", "Auto", "AUTO":
+		return Auto, nil
+	case "fca", "FCA":
+		return FCA, nil
+	case "ba", "BA":
+		return BA, nil
+	case "aa", "AA":
+		return AA, nil
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q", name)
+}
+
+// Option configures a Compute call.
+type Option func(*queryConfig)
+
+type queryConfig struct {
+	alg            Algorithm
+	tau            int
+	quadMaxPartial int
+	quadMaxDepth   int
+	collectIDs     bool
+}
+
+// WithAlgorithm forces a specific algorithm (default Auto).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *queryConfig) { c.alg = a }
+}
+
+// WithTau enables iMaxRank: regions where the focal record ranks within
+// k*+tau are reported (default 0 = plain MaxRank).
+func WithTau(tau int) Option {
+	return func(c *queryConfig) { c.tau = tau }
+}
+
+// WithQuadTree overrides the quad-tree leaf split threshold and depth cap
+// (zero keeps the defaults).
+func WithQuadTree(maxPartial, maxDepth int) Option {
+	return func(c *queryConfig) {
+		c.quadMaxPartial = maxPartial
+		c.quadMaxDepth = maxDepth
+	}
+}
+
+// WithOutrankIDs materialises, per region, the IDs of the records that
+// outrank the focal record there (the paper's R_c — the minimal set whose
+// removal makes p the top record in that region, together with the
+// dominators).
+func WithOutrankIDs(on bool) Option {
+	return func(c *queryConfig) { c.collectIDs = on }
+}

@@ -1,0 +1,202 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// Result is the answer to a MaxRank (or iMaxRank) query.
+type Result struct {
+	// KStar is the best (smallest) rank the focal record can achieve under
+	// any permissible preference vector.
+	KStar int
+	// Dominators is |D+|, the number of records that outrank the focal
+	// record under every preference.
+	Dominators int64
+	// MinOrder is the minimum arrangement-cell order (KStar-Dominators-1).
+	MinOrder int
+	// Regions lists every region of the preference space where the focal
+	// record's rank is within [KStar, KStar+τ], sorted by ascending rank.
+	Regions []Region
+	// Stats reports the query's cost counters.
+	Stats Stats
+}
+
+// Region is one region of the preference space. Geometry lives in the
+// reduced (d-1)-dimensional query space: a preference (q1..q_{d-1}) with
+// q_d = 1 - Σ q_i.
+type Region struct {
+	// Rank of the focal record anywhere in this region (KStar..KStar+τ).
+	Rank int
+	// Order is the region's cell order (Rank - Dominators - 1).
+	Order int
+	// Witness is a point strictly inside the region, in reduced coordinates.
+	Witness []float64
+	// QueryVector is the witness lifted to a full d-dimensional preference.
+	QueryVector []float64
+	// BoxLo/BoxHi bound the region (the enclosing quad-tree leaf; for d = 2
+	// they are exactly the q1 interval).
+	BoxLo, BoxHi []float64
+	// Constraints describe the region exactly: it is the set of reduced
+	// query vectors q satisfying every constraint (A·q >= B), intersected
+	// with the box and the domain simplex.
+	Constraints []Constraint
+	// OutrankIDs lists the records outranking the focal record in this
+	// region (requires WithOutrankIDs).
+	OutrankIDs []int64
+}
+
+// Constraint is a closed half-space A·q >= B in reduced query space.
+type Constraint struct {
+	A []float64
+	B float64
+}
+
+// Contains reports whether a reduced-space preference vector lies in the
+// region (within tol of every bounding constraint).
+func (r *Region) Contains(q []float64, tol float64) bool {
+	for i, v := range q {
+		if v < r.BoxLo[i]-tol || v > r.BoxHi[i]+tol {
+			return false
+		}
+	}
+	for _, c := range r.Constraints {
+		if vecmath.Point(c.A).Dot(q) < c.B-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports the cost counters the paper's evaluation tracks.
+type Stats struct {
+	CPUTime              time.Duration
+	IO                   int64 // page accesses
+	IncomparableAccessed int64 // n (BA/FCA) or n_a (AA)
+	HalfspacesInserted   int
+	LPCalls              int64
+	LeavesProcessed      int
+	LeavesPruned         int
+	Iterations           int
+	Algorithm            Algorithm
+}
+
+// Compute runs MaxRank for the dataset record with the given index.
+func Compute(ds *Dataset, focalIndex int, opts ...Option) (*Result, error) {
+	if focalIndex < 0 || focalIndex >= len(ds.points) {
+		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d)", focalIndex, len(ds.points))
+	}
+	return compute(ds, ds.points[focalIndex], int64(focalIndex), opts...)
+}
+
+// ComputeFor runs MaxRank for a hypothetical record that is not part of the
+// dataset (the paper's "what-if" scenario: evaluating a product before
+// launching it).
+func ComputeFor(ds *Dataset, focal []float64, opts ...Option) (*Result, error) {
+	if len(focal) != ds.Dim() {
+		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d", len(focal), ds.Dim())
+	}
+	return compute(ds, vecmath.Point(focal).Clone(), -1, opts...)
+}
+
+func compute(ds *Dataset, focal vecmath.Point, focalID int64, opts ...Option) (*Result, error) {
+	cfg := queryConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	in := ds.internalInput(focal, focalID, &cfg)
+
+	alg := cfg.alg
+	if alg == Auto {
+		alg = AA
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	switch alg {
+	case FCA:
+		res, err = core.FCA(in)
+	case BA:
+		res, err = core.BA(in)
+	case AA:
+		res, err = core.AA(in)
+	default:
+		return nil, fmt.Errorf("repro: unsupported algorithm %v", cfg.alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, alg), nil
+}
+
+func convertResult(res *core.Result, alg Algorithm) *Result {
+	out := &Result{
+		KStar:      res.KStar,
+		Dominators: res.Dominators,
+		MinOrder:   res.MinOrder,
+		Regions:    make([]Region, 0, len(res.Regions)),
+		Stats: Stats{
+			CPUTime:              res.Stats.CPUTime,
+			IO:                   res.Stats.IO,
+			IncomparableAccessed: res.Stats.IncomparableAccessed,
+			HalfspacesInserted:   res.Stats.HalfspacesInserted,
+			LPCalls:              res.Stats.LPCalls,
+			LeavesProcessed:      res.Stats.LeavesProcessed,
+			LeavesPruned:         res.Stats.LeavesPruned,
+			Iterations:           res.Stats.Iterations,
+			Algorithm:            alg,
+		},
+	}
+	for i := range res.Regions {
+		reg := &res.Regions[i]
+		r := Region{
+			Rank:        int(res.Dominators) + reg.Order + 1,
+			Order:       reg.Order,
+			Witness:     reg.Witness.Clone(),
+			QueryVector: reg.QueryVector(),
+			BoxLo:       reg.Box.Lo.Clone(),
+			BoxHi:       reg.Box.Hi.Clone(),
+			OutrankIDs:  reg.OutrankIDs,
+		}
+		for _, h := range reg.Constraints {
+			r.Constraints = append(r.Constraints, Constraint{A: h.A.Clone(), B: h.B})
+		}
+		out.Regions = append(out.Regions, r)
+	}
+	return out
+}
+
+// Validate re-checks a Result against the dataset by direct scoring at
+// every region witness; it returns an error describing the first mismatch.
+// It is cheap insurance for library users and is used heavily in tests.
+func Validate(ds *Dataset, focalIndex int, res *Result) error {
+	focal := ds.points[focalIndex]
+	for i := range res.Regions {
+		reg := &res.Regions[i]
+		q := vecmath.Point(reg.QueryVector)
+		if !vecmath.IsPermissible(q, 1e-9) {
+			return fmt.Errorf("repro: region %d witness lifts to non-permissible %v", i, q)
+		}
+		fs := focal.Dot(q)
+		rank := 1
+		for j, r := range ds.points {
+			if j == focalIndex {
+				continue
+			}
+			if r.Dot(q) > fs {
+				rank++
+			}
+		}
+		if rank != reg.Rank {
+			return fmt.Errorf("repro: region %d claims rank %d but direct scoring gives %d", i, reg.Rank, rank)
+		}
+	}
+	if len(res.Regions) > 0 && res.Regions[0].Rank != res.KStar {
+		return fmt.Errorf("repro: best region rank %d != k* %d", res.Regions[0].Rank, res.KStar)
+	}
+	return nil
+}
