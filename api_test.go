@@ -159,19 +159,47 @@ func TestDatasetValidation(t *testing.T) {
 }
 
 func TestParseAlgorithm(t *testing.T) {
-	for name, want := range map[string]repro.Algorithm{
-		"auto": repro.Auto, "FCA": repro.FCA, "ba": repro.BA, "AA": repro.AA,
+	for _, tc := range []struct {
+		name string
+		want repro.Algorithm
+	}{
+		{"auto", repro.Auto}, {"Auto", repro.Auto}, {"AUTO", repro.Auto}, {"aUtO", repro.Auto},
+		{"fca", repro.FCA}, {"FCA", repro.FCA}, {"Fca", repro.FCA},
+		{"ba", repro.BA}, {"BA", repro.BA}, {"bA", repro.BA},
+		{"aa", repro.AA}, {"AA", repro.AA}, {"Aa", repro.AA},
 	} {
-		got, err := repro.ParseAlgorithm(name)
-		if err != nil || got != want {
-			t.Fatalf("ParseAlgorithm(%q) = %v, %v", name, got, err)
+		got, err := repro.ParseAlgorithm(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
 		}
 	}
-	if _, err := repro.ParseAlgorithm("zzz"); err == nil {
-		t.Fatal("unknown algorithm accepted")
+	for _, bad := range []string{"zzz", "", "fca2", "a a", "br ute"} {
+		if _, err := repro.ParseAlgorithm(bad); err == nil {
+			t.Fatalf("ParseAlgorithm(%q) accepted", bad)
+		}
 	}
 	if !strings.Contains(repro.AA.String(), "AA") {
 		t.Fatal("String() broken")
+	}
+}
+
+// TestAlgorithmStringParseRoundTrip pins String <-> Parse as inverses for
+// every declared Algorithm, in both original and folded case.
+func TestAlgorithmStringParseRoundTrip(t *testing.T) {
+	for _, a := range []repro.Algorithm{repro.Auto, repro.FCA, repro.BA, repro.AA} {
+		for _, name := range []string{
+			a.String(),
+			strings.ToLower(a.String()),
+			strings.ToUpper(a.String()),
+		} {
+			got, err := repro.ParseAlgorithm(name)
+			if err != nil {
+				t.Fatalf("ParseAlgorithm(%q) failed: %v", name, err)
+			}
+			if got != a {
+				t.Fatalf("round trip %v -> %q -> %v", a, name, got)
+			}
+		}
 	}
 }
 

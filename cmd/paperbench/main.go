@@ -35,11 +35,12 @@ var experiments = []struct {
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "comma-separated experiments: fig8,fig9,table4,fig10,fig11,fig12 or all")
-		scale   = flag.String("scale", "default", "quick, default or paper")
-		queries = flag.Int("q", 0, "focal records per measurement (0 = scale default)")
-		seed    = flag.Int64("seed", 0, "base seed (0 = fixed default)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		which    = flag.String("exp", "all", "comma-separated experiments: fig8,fig9,table4,fig10,fig11,fig12 or all")
+		scale    = flag.String("scale", "default", "quick, default or paper")
+		queries  = flag.Int("q", 0, "focal records per measurement (0 = scale default)")
+		seed     = flag.Int64("seed", 0, "base seed (0 = fixed default)")
+		parallel = flag.Int("parallel", 1, "engine worker pool per measurement (>1 trades CPU-time fidelity for wall-clock speed)")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -63,10 +64,11 @@ func main() {
 		want[strings.TrimSpace(name)] = true
 	}
 	cfg := exp.Config{
-		Scale:   exp.Scale(*scale),
-		Queries: *queries,
-		Seed:    *seed,
-		Out:     os.Stdout,
+		Scale:    exp.Scale(*scale),
+		Queries:  *queries,
+		Seed:     *seed,
+		Out:      os.Stdout,
+		Parallel: *parallel,
 	}
 	start := time.Now()
 	ran := 0

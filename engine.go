@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+	"repro/internal/vecmath"
+)
+
+// Engine executes MaxRank / iMaxRank queries against one Dataset. Unlike
+// the free Compute functions (which it powers), an Engine is built for
+// serving: any number of Query calls may run concurrently against the
+// shared index, QueryBatch fans a workload across a bounded worker pool,
+// every query carries a context whose cancellation and deadline are
+// honoured inside the algorithm loops, and each Result reports the page
+// reads of that query alone even while other queries hammer the same
+// store.
+//
+// The Engine holds no mutable query state itself — per-query scratch lives
+// in pooled execution states inside the core package — so one Engine (and
+// one Dataset) serves an arbitrary number of goroutines.
+type Engine struct {
+	ds       *Dataset
+	parallel int
+	defaults []Option
+}
+
+// EngineOption configures engine construction.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	parallel int
+	defaults []Option
+}
+
+// WithParallelism bounds the worker pool used by QueryBatch (and any other
+// engine-initiated fan-out). The default is runtime.GOMAXPROCS(0). It does
+// not limit direct Query calls, which run on the caller's goroutine.
+func WithParallelism(n int) EngineOption {
+	return func(c *engineConfig) { c.parallel = n }
+}
+
+// WithQueryDefaults sets query options applied to every query before the
+// per-call options (so per-call options win).
+func WithQueryDefaults(opts ...Option) EngineOption {
+	return func(c *engineConfig) { c.defaults = append(c.defaults, opts...) }
+}
+
+// NewEngine creates a query engine over the dataset.
+func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("repro: nil dataset")
+	}
+	cfg := engineConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallel <= 0 {
+		cfg.parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{ds: ds, parallel: cfg.parallel, defaults: cfg.defaults}, nil
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// Parallelism returns the batch worker-pool bound.
+func (e *Engine) Parallelism() int { return e.parallel }
+
+// Query runs MaxRank for the dataset record with the given index. The
+// context's cancellation and deadline are honoured inside the algorithm
+// loops; a cancelled query returns ctx.Err() promptly.
+func (e *Engine) Query(ctx context.Context, focalIndex int, opts ...Option) (*Result, error) {
+	if focalIndex < 0 || focalIndex >= len(e.ds.points) {
+		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d)", focalIndex, len(e.ds.points))
+	}
+	return e.run(ctx, e.ds.points[focalIndex], int64(focalIndex), opts)
+}
+
+// QueryPoint runs MaxRank for a hypothetical record that is not part of
+// the dataset (the paper's "what-if" scenario: evaluating a product before
+// launching it).
+func (e *Engine) QueryPoint(ctx context.Context, record []float64, opts ...Option) (*Result, error) {
+	if len(record) != e.ds.Dim() {
+		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d", len(record), e.ds.Dim())
+	}
+	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts)
+}
+
+// QueryBatch runs MaxRank for every listed focal record on a worker pool
+// bounded by the engine's parallelism, returning results in input order.
+// The first query error cancels the remaining work and is returned (wrapped
+// with the offending focal index); likewise ctx cancellation aborts the
+// whole batch.
+func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Option) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(focalIndexes) == 0 {
+		return nil, nil
+	}
+	workers := e.parallel
+	if workers > len(focalIndexes) {
+		workers = len(focalIndexes)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(focalIndexes))
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(focalIndexes) || ctx.Err() != nil {
+					return
+				}
+				res, err := e.Query(ctx, focalIndexes[i], opts...)
+				if err != nil {
+					fail(fmt.Errorf("repro: batch query for focal %d: %w", focalIndexes[i], err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// run executes one query: it resolves options against the engine defaults,
+// picks the strategy, and attributes I/O to a per-query tracker.
+func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, opts []Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := queryConfig{}
+	for _, o := range e.defaults {
+		o(&cfg)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	strat, err := cfg.alg.strategy()
+	if err != nil {
+		return nil, err
+	}
+	if d := e.ds.Dim(); !strat.SupportsDim(d) {
+		return nil, fmt.Errorf("repro: algorithm %v does not support dimensionality %d", cfg.alg.resolved(), d)
+	}
+	tracker := new(pager.Tracker)
+	in := e.ds.internalInput(focal, focalID, &cfg)
+	in.Ctx = ctx
+	in.IO = tracker
+	res, err := strat.Run(in)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(res, cfg.alg.resolved()), nil
+}
+
+// strategy maps the public Algorithm selector to its core strategy.
+func (a Algorithm) strategy() (core.Algorithm, error) {
+	switch a {
+	case Auto, AA:
+		// Auto picks the paper's best general algorithm; StrategyAA itself
+		// dispatches to the d = 2 specialisation when applicable.
+		return core.StrategyAA, nil
+	case FCA:
+		return core.StrategyFCA, nil
+	case BA:
+		return core.StrategyBA, nil
+	}
+	return nil, fmt.Errorf("repro: unsupported algorithm %v", a)
+}
+
+// resolved normalises Auto to the algorithm actually executed, for Stats.
+func (a Algorithm) resolved() Algorithm {
+	if a == Auto {
+		return AA
+	}
+	return a
+}

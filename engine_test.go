@@ -1,0 +1,345 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// shared10k lazily builds the acceptance-test dataset (IND, n = 10k, d = 3)
+// plus its records sorted by descending attribute sum: strong records are
+// the paper's typical query subjects and keep the large-scale tests fast.
+var shared10k struct {
+	once sync.Once
+	ds   *repro.Dataset
+	top  []int // record indexes, strongest first
+	err  error
+}
+
+func get10k(t testing.TB) (*repro.Dataset, []int) {
+	t.Helper()
+	s := &shared10k
+	s.once.Do(func() {
+		s.ds, s.err = repro.GenerateDataset("IND", 10000, 3, 42)
+		if s.err != nil {
+			return
+		}
+		type cand struct {
+			idx int
+			sum float64
+		}
+		cands := make([]cand, s.ds.Len())
+		for i := range cands {
+			p := s.ds.Point(i)
+			cands[i] = cand{i, p[0] + p[1] + p[2]}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].sum > cands[b].sum })
+		s.top = make([]int, len(cands))
+		for i, c := range cands {
+			s.top[i] = c.idx
+		}
+	})
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	return s.ds, s.top
+}
+
+// batchFocals spreads 64 focal records over the strongest quarter-thousand.
+func batchFocals(top []int) []int {
+	focals := make([]int, 64)
+	for i := range focals {
+		focals[i] = top[i*4]
+	}
+	return focals
+}
+
+// TestQueryBatchMatchesSequential is the acceptance check: a parallel batch
+// over 64 focal records of the 10k dataset must reproduce the sequential
+// Compute answers exactly — same ranks, same regions, same witnesses.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ds, top := get10k(t)
+	focals := batchFocals(top)
+
+	eng, err := repro.NewEngine(ds, repro.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.QueryBatch(context.Background(), focals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(focals) {
+		t.Fatalf("batch returned %d results for %d focals", len(batch), len(focals))
+	}
+	for i, focal := range focals {
+		seq, err := repro.Compute(ds, focal)
+		if err != nil {
+			t.Fatalf("sequential focal %d: %v", focal, err)
+		}
+		assertSameResult(t, focal, batch[i], seq)
+		if err := repro.Validate(ds, focal, batch[i]); err != nil {
+			t.Fatalf("focal %d: %v", focal, err)
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, focal int, got, want *repro.Result) {
+	t.Helper()
+	if got.KStar != want.KStar || got.Dominators != want.Dominators || got.MinOrder != want.MinOrder {
+		t.Fatalf("focal %d: batch (k*=%d dom=%d min=%d) != sequential (k*=%d dom=%d min=%d)",
+			focal, got.KStar, got.Dominators, got.MinOrder,
+			want.KStar, want.Dominators, want.MinOrder)
+	}
+	if len(got.Regions) != len(want.Regions) {
+		t.Fatalf("focal %d: batch has %d regions, sequential %d", focal, len(got.Regions), len(want.Regions))
+	}
+	for r := range got.Regions {
+		g, w := &got.Regions[r], &want.Regions[r]
+		if g.Rank != w.Rank || g.Order != w.Order {
+			t.Fatalf("focal %d region %d: rank/order (%d,%d) != (%d,%d)",
+				focal, r, g.Rank, g.Order, w.Rank, w.Order)
+		}
+		for i := range g.Witness {
+			if g.Witness[i] != w.Witness[i] {
+				t.Fatalf("focal %d region %d: witness %v != %v", focal, r, g.Witness, w.Witness)
+			}
+		}
+		for i := range g.BoxLo {
+			if g.BoxLo[i] != w.BoxLo[i] || g.BoxHi[i] != w.BoxHi[i] {
+				t.Fatalf("focal %d region %d: box [%v,%v] != [%v,%v]",
+					focal, r, g.BoxLo, g.BoxHi, w.BoxLo, w.BoxHi)
+			}
+		}
+	}
+}
+
+// TestConcurrentQueries hammers one shared Dataset from many goroutines —
+// direct Query calls, QueryPoint what-ifs and a QueryBatch all in flight at
+// once. Run under -race this is the concurrency-safety check for the whole
+// stack (pager, R*-tree, skyline, core, engine).
+func TestConcurrentQueries(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 1000, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < 4; q++ {
+				focal := (g*911 + q*37) % ds.Len()
+				res, err := eng.Query(ctx, focal, repro.WithTau(q%2))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := repro.Validate(ds, focal, res); err != nil {
+					errc <- err
+					return
+				}
+				if res.Stats.IO <= 0 {
+					errc <- errors.New("query reported no I/O under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := eng.QueryBatch(ctx, []int{1, 2, 3, 5, 8, 13, 21, 34}); err != nil {
+			errc <- err
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := eng.QueryPoint(ctx, []float64{0.9, 0.85, 0.88}); err != nil {
+			errc <- err
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryCancellation checks both flavours of promptness: a
+// pre-cancelled context fails immediately, and cancelling an expensive
+// in-flight query makes it return long before it would have finished.
+func TestQueryCancellation(t *testing.T) {
+	ds, top := get10k(t)
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Query(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query returned %v, want context.Canceled", err)
+	}
+	if _, err := eng.QueryBatch(ctx, []int{0, 1, 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch returned %v, want context.Canceled", err)
+	}
+
+	// The weakest record has thousands of incomparable competitors; its
+	// MaxRank takes seconds. Cancel after 50ms and require a return well
+	// under the uncancelled runtime.
+	weak := top[len(top)-1]
+	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = eng.Query(ctx, weak)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled query returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled query took %v to return", elapsed)
+	}
+}
+
+// TestEngineQueryMatchesCompute pins the wrapper contract: the free
+// functions and the engine execute the same path.
+func TestEngineQueryMatchesCompute(t *testing.T) {
+	ds, err := repro.GenerateDataset("COR", 800, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Query(context.Background(), 17, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.Compute(ds, 17, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, 17, a, b)
+
+	what := []float64{0.7, 0.6, 0.65}
+	c, err := eng.QueryPoint(context.Background(), what)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := repro.ComputeFor(ds, what)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, -1, c, d)
+}
+
+// TestEngineQueryDefaults checks that engine-level defaults apply and that
+// per-call options override them.
+func TestEngineQueryDefaults(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 400, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithQueryDefaults(repro.WithAlgorithm(repro.BA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm != repro.BA {
+		t.Fatalf("default algorithm not applied: got %v", res.Stats.Algorithm)
+	}
+	res, err = eng.Query(context.Background(), 5, repro.WithAlgorithm(repro.FCA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm != repro.FCA {
+		t.Fatalf("per-call override lost: got %v", res.Stats.Algorithm)
+	}
+}
+
+// TestEngineValidation covers the engine's error paths.
+func TestEngineValidation(t *testing.T) {
+	if _, err := repro.NewEngine(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	ds, err := repro.GenerateDataset("IND", 50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(context.Background(), -1); err == nil {
+		t.Fatal("negative focal accepted")
+	}
+	if _, err := eng.Query(context.Background(), ds.Len()); err == nil {
+		t.Fatal("out-of-range focal accepted")
+	}
+	if _, err := eng.QueryPoint(context.Background(), []float64{0.5}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := eng.QueryBatch(context.Background(), []int{0, ds.Len()}); err == nil {
+		t.Fatal("batch with out-of-range focal accepted")
+	}
+	res, err := eng.QueryBatch(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+// BenchmarkQueryBatch measures batch throughput at different worker-pool
+// sizes over the same 64 focal records used by the acceptance test. The
+// in-memory series scales with physical cores; the simulated-disk series
+// (5 ms per page access, the paper's disk-resident scenario) shows the
+// engine overlapping I/O waits — parallel=4 must beat parallel=1 by well
+// over 1.5x wall-clock even on a single core.
+func BenchmarkQueryBatch(b *testing.B) {
+	ds, top := get10k(b)
+	focals := batchFocals(top)
+	run := func(b *testing.B, ds *repro.Dataset, parallel int) {
+		eng, err := repro.NewEngine(ds, repro.WithParallelism(parallel))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QueryBatch(context.Background(), focals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, parallel := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("memory/parallel=%d", parallel), func(b *testing.B) {
+			run(b, ds, parallel)
+		})
+	}
+
+	disk, err := repro.GenerateDataset("IND", 10000, 3, 42, repro.WithPageLatency(5*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, parallel := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("disk5ms/parallel=%d", parallel), func(b *testing.B) {
+			run(b, disk, parallel)
+		})
+	}
+}

@@ -4,14 +4,17 @@
 // (price/quality trade-off), run a MaxRank query with the candidate as a
 // hypothetical focal record (it is NOT part of the dataset) and compare the
 // best achievable ranks. The paper notes this requires one MaxRank query
-// per alternative — exactly what ComputeFor does.
+// per alternative — one Engine.QueryPoint call each, and since the queries
+// are independent they run concurrently against the shared index.
 //
 //	go run ./examples/pricing-whatif
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"repro"
 )
@@ -37,13 +40,35 @@ func main() {
 	}
 
 	fmt.Printf("market: %d products, %d attributes\n\n", ds.Len(), ds.Dim())
-	best := -1
-	bestK := 1 << 30
+
+	// One what-if query per candidate, all in flight at once: the engine's
+	// index is shared, each query keeps its own state and I/O counters.
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	results := make([]*repro.Result, len(candidates))
+	errs := make([]error, len(candidates))
+	var wg sync.WaitGroup
 	for i, c := range candidates {
-		res, err := repro.ComputeFor(ds, c.record)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = eng.QueryPoint(ctx, c.record)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	best := -1
+	bestK := 1 << 30
+	for i, c := range candidates {
+		res := results[i]
 		fmt.Printf("%-34s best rank #%-5d dominators %-4d regions %d\n",
 			c.name, res.KStar, res.Dominators, len(res.Regions))
 		if res.KStar < bestK {
@@ -56,10 +81,7 @@ func main() {
 
 	// For the winner, show a concrete customer preference that puts it at
 	// its best rank — the marketing angle.
-	res, err := repro.ComputeFor(ds, candidates[best].record)
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := results[best]
 	if len(res.Regions) > 0 {
 		q := res.Regions[0].QueryVector
 		fmt.Printf("e.g. customers weighing quality=%.2f affordability=%.2f support=%.2f\n",

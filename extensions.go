@@ -75,7 +75,7 @@ func reverseTopK2D(in core.Input, k int) (int64, []core.Region, error) {
 	// Rank = dominators + order + 1; recover dominators from any MaxRank
 	// run-independent source: a direct computation via the public core
 	// helper would re-scan, so compute it from the cheapest query.
-	dom, err := core.CountDominators(in.Tree, in.Focal)
+	dom, err := core.CountDominators(in.Tree.Reader(in.IO), in.Focal)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -18,28 +18,25 @@ import (
 // of the others are expanded — marked singular, with the records they
 // subsumed surfacing as new augmented half-spaces. AA terminates when every
 // candidate cell is accurate (Algorithm 1, extended to iMaxRank).
-func AA(in Input) (*Result, error) {
+func AA(in Input) (*Result, error) { return StrategyAA.Run(in) }
+
+func aaRun(in Input) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if in.Tree.Dim() == 2 {
-		return AA2D(in)
-	}
-	return aaGeneral(in)
-}
-
-func aaGeneral(in Input) (*Result, error) {
 	start := timeNow()
-	base := ioBaseline(in.Tree)
+	ctx, rd, tr := in.begin()
+	st := acquireState()
+	defer releaseState(st)
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(in.Tree, p)
+	dom, err := CountDominators(rd, p)
 	if err != nil {
 		return nil, err
 	}
 
-	sky, err := skyline.New(in.Tree, p, in.FocalID)
+	sky, err := skyline.NewForQuery(ctx, rd, p, in.FocalID)
 	if err != nil {
 		return nil, err
 	}
@@ -68,11 +65,16 @@ func aaGeneral(in Input) (*Result, error) {
 	insert(first)
 
 	oStar := -1 // minimum accurate cell order found so far (-1 = none)
-	cache := make(leafCache)
 	var finalCells []foundCell
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Stats.Iterations++
-		minO, cells := collectCells(qt, in, &res.Stats, oStar, cache)
+		minO, cells, err := collectCells(ctx, qt, &in, &res.Stats, oStar, st, true)
+		if err != nil {
+			return nil, err
+		}
 		if minO < 0 {
 			// Empty arrangement: no incomparable records; p is top everywhere.
 			finalCells = nil
@@ -113,7 +115,7 @@ func aaGeneral(in Input) (*Result, error) {
 			bound = oStar
 		}
 		qt.SetSplitBound(bound + in.Tau)
-		for id := range expand {
+		for _, id := range sortedIDs(expand) {
 			ref, ok := qt.RefByRecord(id)
 			if !ok {
 				return nil, fmt.Errorf("core: AA expansion of unknown record %d", id)
@@ -134,7 +136,7 @@ func aaGeneral(in Input) (*Result, error) {
 	finishResult(res, regions, oStar, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.IncomparableAccessed = sky.Accessed()
-	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.IO = tr.Reads()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }

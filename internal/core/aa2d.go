@@ -37,7 +37,9 @@ type boundary struct {
 // the mixed arrangement is a set of half-lines kept in a sorted container (a
 // red-black tree), cells are the intervals between consecutive boundary
 // values, and cell orders follow from a single left-to-right sweep.
-func AA2D(in Input) (*Result, error) {
+func AA2D(in Input) (*Result, error) { return StrategyAA2D.Run(in) }
+
+func aa2dRun(in Input) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,16 +47,16 @@ func AA2D(in Input) (*Result, error) {
 		return nil, fmt.Errorf("core: AA2D requires d = 2, got %d", in.Tree.Dim())
 	}
 	start := timeNow()
-	base := ioBaseline(in.Tree)
+	ctx, rd, tr := in.begin()
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(in.Tree, p)
+	dom, err := CountDominators(rd, p)
 	if err != nil {
 		return nil, err
 	}
 
-	sky, err := skyline.New(in.Tree, p, in.FocalID)
+	sky, err := skyline.NewForQuery(ctx, rd, p, in.FocalID)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +104,9 @@ func AA2D(in Input) (*Result, error) {
 	oStar := -1
 	var final []interval
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Stats.Iterations++
 		// Sweep: the first cell (0, v1) is contained in every ← half-line
 		// with v > 0 and every → half-line with v <= 0 (the latter cannot
@@ -189,7 +194,7 @@ func AA2D(in Input) (*Result, error) {
 			}
 			break
 		}
-		for id := range expand {
+		for _, id := range sortedIDs(expand) {
 			byRecord[id].augmented = false
 			uncovered, err := sky.Expand(id)
 			if err != nil {
@@ -223,7 +228,7 @@ func AA2D(in Input) (*Result, error) {
 	finishResult(res, regions, oStar, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.IncomparableAccessed = sky.Accessed()
-	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.IO = tr.Reads()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }

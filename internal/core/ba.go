@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cellenum"
 	"repro/internal/geom"
 	"repro/internal/quadtree"
@@ -12,16 +14,20 @@ import (
 // all of them in an augmented quad-tree, and process the leaves in
 // increasing |Fl| order, running the within-leaf module on each until the
 // remaining leaves cannot contain a cell of low enough order.
-func BA(in Input) (*Result, error) {
+func BA(in Input) (*Result, error) { return StrategyBA.Run(in) }
+
+func baRun(in Input) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	start := timeNow()
-	base := ioBaseline(in.Tree)
+	ctx, rd, tr := in.begin()
+	st := acquireState()
+	defer releaseState(st)
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(in.Tree, p)
+	dom, err := CountDominators(rd, p)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +40,7 @@ func BA(in Input) (*Result, error) {
 		return nil, err
 	}
 	var nInc int64
-	err = scanIncomparable(in.Tree, p, in.FocalID, func(r vecmath.Point, id int64) error {
+	err = scanIncomparable(ctx, rd, p, in.FocalID, func(r vecmath.Point, id int64) error {
 		nInc++
 		qt.Insert(&quadtree.HalfspaceRef{H: geom.RecordHalfspace(r, p), RecordID: id})
 		return nil
@@ -45,7 +51,10 @@ func BA(in Input) (*Result, error) {
 	res.Stats.IncomparableAccessed = nInc
 	res.Stats.HalfspacesInserted = qt.NumHalfspaces()
 
-	minOrder, cells := collectCells(qt, in, &res.Stats, -1, nil)
+	minOrder, cells, err := collectCells(ctx, qt, &in, &res.Stats, -1, st, false)
+	if err != nil {
+		return nil, err
+	}
 	regions := make([]Region, 0, len(cells))
 	for _, fc := range cells {
 		regions = append(regions, makeRegion(qt, fc, in.CollectRecordIDs))
@@ -53,7 +62,7 @@ func BA(in Input) (*Result, error) {
 	finishResult(res, regions, minOrder, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.Iterations = 1
-	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.IO = tr.Reads()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }
@@ -81,7 +90,9 @@ func (fc *foundCell) containingRefs() []int {
 }
 
 // leafCache memoises within-leaf enumerations across AA iterations, keyed
-// by quad-tree node ID; entries are invalidated by version changes.
+// by quad-tree node ID; entries are invalidated by version changes. The
+// cache lives in the query's execState: node IDs are only meaningful within
+// one query's quad-tree, so it never outlives the query.
 type leafCache map[int]leafCacheEntry
 
 type leafCacheEntry struct {
@@ -112,12 +123,16 @@ func (e *leafCacheEntry) validFor(maxW, tau int) bool {
 // leaves ascending by |Fl| (counting sort), within-leaf enumeration bounded
 // by the best order found so far plus τ. A non-negative orderCap
 // additionally bounds collection (AA passes its current accurate optimum
-// o*), and AA supplies a cache so unchanged leaves are not re-enumerated.
+// o*), and AA sets useCache so unchanged leaves are not re-enumerated
+// across its iterations.
+//
+// The returned cell list aliases st.cells; callers must finish with it
+// before the state is released. The context is polled once per leaf.
 //
 // It returns the minimum cell order discovered (-1 when no cell exists,
 // which only happens when the whole arrangement lies outside the domain)
 // and all cells with order <= min(best, orderCap) + τ.
-func collectCells(qt *quadtree.Tree, in Input, stats *Stats, orderCap int, cache leafCache) (int, []foundCell) {
+func collectCells(ctx context.Context, qt *quadtree.Tree, in *Input, stats *Stats, orderCap int, st *execState, useCache bool) (int, []foundCell, error) {
 	leaves := qt.Leaves()
 	// Counting sort by |Fl|: counts are bounded by the number of inserted
 	// half-spaces and leaf lists can be large in refined arrangements.
@@ -127,7 +142,18 @@ func collectCells(qt *quadtree.Tree, in Input, stats *Stats, orderCap int, cache
 			maxFC = fc
 		}
 	}
-	buckets := make([][]quadtree.Leaf, maxFC+1)
+	// Reuse the pooled bucket headers up to their capacity (overwriting
+	// them with append would discard the inner slices' capacity — the
+	// point of pooling them) and extend only past it.
+	buckets := st.buckets[:cap(st.buckets)]
+	for len(buckets) < maxFC+1 {
+		buckets = append(buckets, nil)
+	}
+	buckets = buckets[:maxFC+1]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	st.buckets = buckets
 	for _, l := range leaves {
 		buckets[l.FullCount()] = append(buckets[l.FullCount()], l)
 	}
@@ -140,11 +166,14 @@ func collectCells(qt *quadtree.Tree, in Input, stats *Stats, orderCap int, cache
 		}
 		return b
 	}
-	var cells []foundCell
+	cells := st.cells[:0]
 	remaining := len(leaves)
 scan:
 	for fc := 0; fc <= maxFC; fc++ {
 		for _, leaf := range buckets[fc] {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
 			if b := bound(); b >= 0 && leaf.FullCount() > b+in.Tau {
 				stats.LeavesPruned += remaining
 				break scan
@@ -155,8 +184,8 @@ scan:
 			}
 			var out cellenum.Result
 			hit := false
-			if cache != nil {
-				if ent, ok := cache[leaf.NodeID()]; ok && ent.version == leaf.Version() && ent.validFor(maxW, in.Tau) {
+			if useCache {
+				if ent, ok := st.cache[leaf.NodeID()]; ok && ent.version == leaf.Version() && ent.validFor(maxW, in.Tau) {
 					out = ent.out
 					hit = true
 				}
@@ -174,8 +203,8 @@ scan:
 				})
 				stats.LeavesProcessed++
 				stats.LPCalls += int64(out.LPCalls)
-				if cache != nil && !out.Truncated {
-					cache[leaf.NodeID()] = leafCacheEntry{version: leaf.Version(), out: out}
+				if useCache && !out.Truncated {
+					st.cache[leaf.NodeID()] = leafCacheEntry{version: leaf.Version(), out: out}
 				}
 			}
 			for _, cell := range out.Cells {
@@ -202,10 +231,13 @@ scan:
 		}
 		cells = kept
 	}
-	return best, cells
+	st.cells = cells
+	return best, cells, nil
 }
 
-// makeRegion materialises a Region from a within-leaf cell.
+// makeRegion materialises a Region from a within-leaf cell. The Region owns
+// (or exclusively references) everything it holds — nothing aliases the
+// query's pooled scratch.
 func makeRegion(qt *quadtree.Tree, fc foundCell, collectIDs bool) Region {
 	leaf, cell := fc.leaf, fc.cell
 	leafPartial := leaf.Partial()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"repro/internal/geom"
+	"repro/internal/rstar"
 	"repro/internal/vecmath"
 )
 
@@ -15,6 +17,54 @@ type BruteResult struct {
 	Dominators int64
 }
 
+// bruteRun adapts the index-free oracle to the Algorithm strategy
+// interface: it scans the whole tree (honestly charged as I/O), runs the
+// enumeration, and reports k* without regions. Intended for tests,
+// validation and tiny datasets — cost grows combinatorially with the
+// number of incomparable records.
+func bruteRun(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	start := timeNow()
+	ctx, rd, tr := in.begin()
+	lo := make(vecmath.Point, rd.Dim())
+	hi := make(vecmath.Point, rd.Dim())
+	for i := range lo {
+		lo[i] = -1e308
+		hi[i] = 1e308
+	}
+	var records []vecmath.Point
+	focalIdx := -1
+	err := rd.RangeSearch(geom.Rect{Lo: lo, Hi: hi}, func(it rstar.Item) bool {
+		if it.RecordID == in.FocalID {
+			focalIdx = len(records)
+		}
+		records = append(records, it.Point.Clone())
+		return ctx.Err() == nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	br, err := bruteForce(ctx, records, in.Focal, focalIdx, in.FocalID+20150831, 4000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		KStar:      br.KStar,
+		MinOrder:   br.MinOrder,
+		Dominators: br.Dominators,
+	}
+	res.Stats.Dominators = br.Dominators
+	res.Stats.Iterations = 1
+	res.Stats.IO = tr.Reads()
+	res.Stats.CPUTime = timeNow().Sub(start)
+	return res, nil
+}
+
 // BruteForce computes k* by direct enumeration, independent of every index
 // structure: it enumerates candidate query vectors at (perturbations of)
 // all vertices of the half-space arrangement restricted to the domain
@@ -23,6 +73,14 @@ type BruteResult struct {
 // of the arrangement, so it is an (almost surely) exact oracle for the
 // small instances used in tests, and a lower-bound sanity check elsewhere.
 func BruteForce(records []vecmath.Point, focal vecmath.Point, focalIdx int, seed int64, extraSamples int) BruteResult {
+	res, _ := bruteForce(context.Background(), records, focal, focalIdx, seed, extraSamples)
+	return res
+}
+
+// bruteForce is BruteForce with cancellation: the context is polled every
+// few thousand candidate evaluations, since the vertex enumeration grows
+// combinatorially with the number of incomparable records.
+func bruteForce(ctx context.Context, records []vecmath.Point, focal vecmath.Point, focalIdx int, seed int64, extraSamples int) (BruteResult, error) {
 	d := len(focal)
 	dr := d - 1
 	rng := rand.New(rand.NewSource(seed))
@@ -88,14 +146,19 @@ func BruteForce(records []vecmath.Point, focal vecmath.Point, focalIdx int, seed
 		}
 	}
 
-	// Vertex perturbations: every size-dr subset of hyperplanes.
+	// Vertex perturbations: every size-dr subset of hyperplanes. The
+	// context is polled once per vertex (the per-vertex work is bounded,
+	// the number of vertices is not).
 	idx := make([]int, dr)
-	var rec func(start, k int)
-	rec = func(start, k int) {
+	var rec func(start, k int) error
+	rec = func(start, k int) error {
 		if k == dr {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			v, ok := solveSquare(planes, idx, dr)
 			if !ok {
-				return
+				return nil
 			}
 			for _, eps := range []float64{1e-7, 1e-5, 1e-3} {
 				for trial := 0; trial < 6*dr; trial++ {
@@ -106,19 +169,29 @@ func BruteForce(records []vecmath.Point, focal vecmath.Point, focalIdx int, seed
 					consider(q)
 				}
 			}
-			return
+			return nil
 		}
 		for i := start; i < len(planes); i++ {
 			idx[k] = i
-			rec(i+1, k+1)
+			if err := rec(i+1, k+1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	if dr >= 1 {
-		rec(0, 0)
+		if err := rec(0, 0); err != nil {
+			return BruteResult{}, err
+		}
 	}
 
 	// Random interior samples for extra coverage.
 	for i := 0; i < extraSamples; i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return BruteResult{}, err
+			}
+		}
 		q := randomSimplexInterior(rng, dr)
 		consider(q)
 	}
@@ -136,7 +209,7 @@ func BruteForce(records []vecmath.Point, focal vecmath.Point, focalIdx int, seed
 		KStar:      int(dominators) + best + 1,
 		MinOrder:   best,
 		Dominators: dominators,
-	}
+	}, nil
 }
 
 // plane is a hyperplane a·x = b in the reduced query space.

@@ -3,10 +3,20 @@
 // basic quad-tree approach, Section 5), AA (the advanced approach with
 // implicit half-space subsumption, Section 6) and its d = 2 specialisation
 // (Section 6.3), each supporting the incremental variant iMaxRank (τ ≥ 0).
+//
+// Each algorithm is exposed both as a plain function (FCA, BA, AA, AA2D)
+// and as an Algorithm strategy value (StrategyFCA, ...) so callers can
+// select processing dynamically. Queries are self-contained: all mutable
+// state lives in a per-query execState (pooled across queries), node
+// accesses are attributed to the query's pager.Tracker, and the query
+// context is honoured inside the algorithm loops — so any number of queries
+// may run concurrently against one finalized tree.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/geom"
@@ -34,6 +44,14 @@ type Input struct {
 	// CollectRecordIDs materialises, for each result region, the IDs of the
 	// incomparable records that outrank p there (the paper's R_c set).
 	CollectRecordIDs bool
+	// Ctx carries cancellation and deadline for the query; nil means
+	// context.Background(). The algorithm loops poll it between tree node
+	// accesses, quad-tree leaves and expansion rounds.
+	Ctx context.Context
+	// IO, when non-nil, receives the query's page accesses. A nil IO gets a
+	// private tracker, so Stats.IO is always the pages *this* query read,
+	// even when other queries run concurrently on the same store.
+	IO *pager.Tracker
 }
 
 // Validate checks the query for structural problems.
@@ -51,6 +69,21 @@ func (in *Input) Validate() error {
 		return fmt.Errorf("core: negative tau %d", in.Tau)
 	}
 	return nil
+}
+
+// begin resolves the query's execution context: a non-nil context, the
+// query's I/O tracker (allocating a private one when the caller did not
+// supply any) and a tree reader charging that tracker.
+func (in *Input) begin() (context.Context, rstar.Reader, *pager.Tracker) {
+	ctx := in.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := in.IO
+	if tr == nil {
+		tr = new(pager.Tracker)
+	}
+	return ctx, in.Tree.Reader(tr), tr
 }
 
 // Region is one maximal part of the query space where the focal record
@@ -113,26 +146,20 @@ type Result struct {
 	Stats   Stats
 }
 
-// ioBaseline snapshots the store's read counter so Stats.IO measures only
-// this query.
-func ioBaseline(t *rstar.Tree) int64 { return t.Store().Stats().Reads }
-
-func ioSince(t *rstar.Tree, base int64) int64 { return t.Store().Stats().Reads - base }
-
 // CountDominators computes |D+| with two aggregate range counts: records
 // coordinate-wise >= p, minus records exactly equal to p (score ties are
 // ignored throughout, following the paper).
-func CountDominators(t *rstar.Tree, p vecmath.Point) (int64, error) {
+func CountDominators(rd rstar.Reader, p vecmath.Point) (int64, error) {
 	hi := make(vecmath.Point, len(p))
 	for i := range hi {
 		hi[i] = 1e308
 	}
 	window := geom.Rect{Lo: p.Clone(), Hi: hi}
-	geq, err := t.RangeCount(window)
+	geq, err := rd.RangeCount(window)
 	if err != nil {
 		return 0, err
 	}
-	eq, err := t.RangeCount(geom.PointRect(p))
+	eq, err := rd.RangeCount(geom.PointRect(p))
 	if err != nil {
 		return 0, err
 	}
@@ -141,13 +168,17 @@ func CountDominators(t *rstar.Tree, p vecmath.Point) (int64, error) {
 
 // scanIncomparable visits every record incomparable to p, skipping whole
 // subtrees that contain only dominators or only dominees (the 2^d − 2
-// incomparable-region focusing of Section 5).
-func scanIncomparable(t *rstar.Tree, p vecmath.Point, focalID int64, fn func(pt vecmath.Point, id int64) error) error {
-	return scanIncompNode(t, t.Root(), p, focalID, fn)
+// incomparable-region focusing of Section 5). The context is polled before
+// every node access.
+func scanIncomparable(ctx context.Context, rd rstar.Reader, p vecmath.Point, focalID int64, fn func(pt vecmath.Point, id int64) error) error {
+	return scanIncompNode(ctx, rd, rd.Root(), p, focalID, fn)
 }
 
-func scanIncompNode(t *rstar.Tree, id pager.PageID, p vecmath.Point, focalID int64, fn func(pt vecmath.Point, id int64) error) error {
-	n, err := t.ReadNode(id)
+func scanIncompNode(ctx context.Context, rd rstar.Reader, id pager.PageID, p vecmath.Point, focalID int64, fn func(pt vecmath.Point, id int64) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n, err := rd.ReadNode(id)
 	if err != nil {
 		return err
 	}
@@ -167,11 +198,24 @@ func scanIncompNode(t *rstar.Tree, id pager.PageID, p vecmath.Point, focalID int
 		if allGeq(p, e.Rect.Hi) || allGeq(e.Rect.Lo, p) {
 			continue // pure dominee or pure dominator subtree
 		}
-		if err := scanIncompNode(t, e.Child, p, focalID, fn); err != nil {
+		if err := scanIncompNode(ctx, rd, e.Child, p, focalID, fn); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// sortedIDs returns the set's members in ascending order. AA expands its
+// per-round set in this order so that query results are bit-identical
+// across runs (map iteration order would otherwise leak into quad-tree
+// node numbering and hence into witness choices).
+func sortedIDs(set map[int64]bool) []int64 {
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // allGeq reports a >= b on every axis.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/rstar"
 	"repro/internal/vecmath"
 )
 
@@ -16,7 +18,9 @@ import (
 //
 // Like the paper's enhanced FCA, dominators and dominees are pruned via the
 // R*-tree before the sweep.
-func FCA(in Input) (*Result, error) {
+func FCA(in Input) (*Result, error) { return StrategyFCA.Run(in) }
+
+func fcaRun(in Input) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -24,11 +28,11 @@ func FCA(in Input) (*Result, error) {
 		return nil, fmt.Errorf("core: FCA requires d = 2, got %d", in.Tree.Dim())
 	}
 	start := timeNow()
-	base := ioBaseline(in.Tree)
+	ctx, rd, tr := in.begin()
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(in.Tree, p)
+	dom, err := CountDominators(rd, p)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +48,7 @@ func FCA(in Input) (*Result, error) {
 	above := make(map[int64]bool) // records above p at the current q1
 	above0 := 0
 	var nInc int64
-	err = scanIncomparable(in.Tree, p, in.FocalID, func(r vecmath.Point, id int64) error {
+	err = scanIncomparable(ctx, rd, p, in.FocalID, func(r vecmath.Point, id int64) error {
 		nInc++
 		// score(r) - score(p) at q1 is (r2-p2) + a*q1 with a the slope gap.
 		a := (r[0] - r[1]) - (p[0] - p[1])
@@ -133,14 +137,17 @@ func FCA(in Input) (*Result, error) {
 			Order:   iv.order,
 		}
 		if in.CollectRecordIDs {
-			reg.OutrankIDs = outranksAt2D(in, reg.Witness[0], &nInc)
+			reg.OutrankIDs, err = outranksAt2D(ctx, &in, rd, reg.Witness[0])
+			if err != nil {
+				return nil, err
+			}
 		}
 		regions = append(regions, reg)
 	}
 	finishResult(res, regions, minOrder, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.Iterations = 1
-	res.Stats.IO = ioSince(in.Tree, base)
+	res.Stats.IO = tr.Reads()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }
@@ -148,15 +155,18 @@ func FCA(in Input) (*Result, error) {
 // outranksAt2D recomputes the set of incomparable records outranking p at
 // a specific q1 (only used when record IDs are requested; it re-scans and
 // therefore costs extra I/O, which is attributed to the query honestly).
-func outranksAt2D(in Input, q1 float64, _ *int64) []int64 {
+func outranksAt2D(ctx context.Context, in *Input, rd rstar.Reader, q1 float64) ([]int64, error) {
 	var ids []int64
 	q := vecmath.Point{q1, 1 - q1}
 	ps := in.Focal.Dot(q)
-	_ = scanIncomparable(in.Tree, in.Focal, in.FocalID, func(r vecmath.Point, id int64) error {
+	err := scanIncomparable(ctx, rd, in.Focal, in.FocalID, func(r vecmath.Point, id int64) error {
 		if r.Dot(q) > ps {
 			ids = append(ids, id)
 		}
 		return nil
 	})
-	return ids
+	if err != nil {
+		return nil, err
+	}
+	return ids, nil
 }

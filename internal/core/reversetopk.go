@@ -27,7 +27,8 @@ func ReverseTopK2D(in Input, k int) ([]Region, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d < 1", k)
 	}
-	dom, err := CountDominators(in.Tree, in.Focal)
+	ctx, rd, _ := in.begin()
+	dom, err := CountDominators(rd, in.Focal)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func ReverseTopK2D(in Input, k int) ([]Region, error) {
 	}
 	var crossings []crossing
 	above0 := 0
-	err = scanIncomparable(in.Tree, p, in.FocalID, func(r vecmath.Point, id int64) error {
+	err = scanIncomparable(ctx, rd, p, in.FocalID, func(r vecmath.Point, id int64) error {
 		a := (r[0] - r[1]) - (p[0] - p[1])
 		c := r[1] - p[1]
 		isAbove0 := c > 0 || (c == 0 && a > 0)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/quadtree"
+)
+
+// Algorithm is a MaxRank processing strategy. Implementations are stateless
+// values: all per-query state lives in the Input and in a pooled execState,
+// so one Algorithm may serve any number of concurrent queries.
+type Algorithm interface {
+	// Name is the canonical strategy name (FCA, BA, AA, AA2D, BRUTE).
+	Name() string
+	// SupportsDim reports whether the strategy handles datasets of
+	// dimensionality d.
+	SupportsDim(d int) bool
+	// Run executes the query.
+	Run(in Input) (*Result, error)
+}
+
+// The built-in strategies.
+var (
+	// StrategyFCA is the first-cut score-line sweep (Section 4), d = 2 only.
+	StrategyFCA Algorithm = fcaStrategy{}
+	// StrategyBA is the basic approach (Section 5): every incomparable
+	// record's half-space is materialised.
+	StrategyBA Algorithm = baStrategy{}
+	// StrategyAA is the advanced approach (Section 6); it dispatches to the
+	// sorted-list specialisation for d = 2.
+	StrategyAA Algorithm = aaStrategy{}
+	// StrategyAA2D is the d = 2 specialisation of AA (Section 6.3).
+	StrategyAA2D Algorithm = aa2dStrategy{}
+	// StrategyBrute is the index-free enumeration oracle; exact with high
+	// probability on small inputs, a sanity check elsewhere. It reports
+	// k* but no regions.
+	StrategyBrute Algorithm = bruteStrategy{}
+)
+
+// Strategies lists every built-in strategy.
+func Strategies() []Algorithm {
+	return []Algorithm{StrategyFCA, StrategyBA, StrategyAA, StrategyAA2D, StrategyBrute}
+}
+
+// StrategyByName resolves a strategy case-insensitively.
+func StrategyByName(name string) (Algorithm, error) {
+	for _, s := range Strategies() {
+		if strings.EqualFold(s.Name(), name) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+type fcaStrategy struct{}
+
+func (fcaStrategy) Name() string                  { return "FCA" }
+func (fcaStrategy) SupportsDim(d int) bool        { return d == 2 }
+func (fcaStrategy) Run(in Input) (*Result, error) { return fcaRun(in) }
+
+type baStrategy struct{}
+
+func (baStrategy) Name() string                  { return "BA" }
+func (baStrategy) SupportsDim(d int) bool        { return d >= 2 }
+func (baStrategy) Run(in Input) (*Result, error) { return baRun(in) }
+
+type aaStrategy struct{}
+
+func (aaStrategy) Name() string           { return "AA" }
+func (aaStrategy) SupportsDim(d int) bool { return d >= 2 }
+func (aaStrategy) Run(in Input) (*Result, error) {
+	// Dispatch only; aa2dRun/aaRun validate the input themselves.
+	if in.Tree != nil && in.Tree.Dim() == 2 {
+		return aa2dRun(in)
+	}
+	return aaRun(in)
+}
+
+type aa2dStrategy struct{}
+
+func (aa2dStrategy) Name() string                  { return "AA2D" }
+func (aa2dStrategy) SupportsDim(d int) bool        { return d == 2 }
+func (aa2dStrategy) Run(in Input) (*Result, error) { return aa2dRun(in) }
+
+type bruteStrategy struct{}
+
+func (bruteStrategy) Name() string                  { return "BRUTE" }
+func (bruteStrategy) SupportsDim(d int) bool        { return d >= 2 }
+func (bruteStrategy) Run(in Input) (*Result, error) { return bruteRun(in) }
+
+// execState carries the scratch buffers of one in-flight query. States are
+// recycled through a sync.Pool so a hot engine does not re-allocate the
+// leaf-loop buckets, cell lists and the AA leaf cache on every query.
+// Nothing in an execState escapes into a Result: makeRegion copies what it
+// keeps, so releasing the state after the query is safe.
+type execState struct {
+	cells   []foundCell
+	buckets [][]quadtree.Leaf
+	cache   leafCache
+}
+
+var statePool = sync.Pool{
+	New: func() any { return &execState{cache: make(leafCache)} },
+}
+
+func acquireState() *execState { return statePool.Get().(*execState) }
+
+func releaseState(st *execState) {
+	// Leaf-cache keys are quad-tree node IDs, which are only unique within
+	// one query's quad-tree — stale entries would be wrong, not just
+	// wasteful, so the map is always cleared.
+	clear(st.cache)
+	// Clear the full capacity, not just the current length: elements past
+	// len (left over from larger earlier queries) would otherwise pin that
+	// query's quad-tree and enumeration output for the pool's lifetime.
+	// The bucket slice headers are kept (their capacity is the point of
+	// pooling them); only their Leaf elements are cleared.
+	cells := st.cells[:cap(st.cells)]
+	clear(cells)
+	st.cells = cells[:0]
+	buckets := st.buckets[:cap(st.buckets)]
+	for i := range buckets {
+		b := buckets[i][:cap(buckets[i])]
+		clear(b)
+		buckets[i] = b[:0]
+	}
+	st.buckets = buckets[:0]
+	statePool.Put(st)
+}

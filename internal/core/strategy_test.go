@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/pager"
+)
+
+func TestStrategyByName(t *testing.T) {
+	for _, s := range Strategies() {
+		for _, name := range []string{s.Name(), strings.ToLower(s.Name()), strings.ToUpper(s.Name())} {
+			got, err := StrategyByName(name)
+			if err != nil {
+				t.Fatalf("StrategyByName(%q): %v", name, err)
+			}
+			if got.Name() != s.Name() {
+				t.Fatalf("StrategyByName(%q) = %s, want %s", name, got.Name(), s.Name())
+			}
+		}
+	}
+	if _, err := StrategyByName("nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestStrategyDims(t *testing.T) {
+	for name, want := range map[string]map[int]bool{
+		"FCA":   {2: true, 3: false},
+		"AA2D":  {2: true, 3: false},
+		"BA":    {2: true, 3: true, 5: true},
+		"AA":    {2: true, 3: true, 5: true},
+		"BRUTE": {2: true, 3: true},
+	} {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, ok := range want {
+			if s.SupportsDim(d) != ok {
+				t.Errorf("%s.SupportsDim(%d) = %v, want %v", name, d, !ok, ok)
+			}
+		}
+	}
+}
+
+// TestBruteStrategyMatchesAA runs the strategy-interface oracle against AA
+// on small instances.
+func TestBruteStrategyMatchesAA(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		seed := int64(6000 + trial)
+		points := dataset.Generate(dataset.IND, 20, 3, seed)
+		tree := buildTree(t, points)
+		in := Input{Tree: tree, Focal: points[trial], FocalID: int64(trial)}
+		aa, err := StrategyAA.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := StrategyBrute.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aa.KStar != br.KStar || aa.Dominators != br.Dominators {
+			t.Fatalf("trial %d: AA (k*=%d dom=%d) vs brute (k*=%d dom=%d)",
+				trial, aa.KStar, aa.Dominators, br.KStar, br.Dominators)
+		}
+		if br.Stats.IO <= 0 {
+			t.Fatal("brute reported no I/O for its full scan")
+		}
+	}
+}
+
+// TestInputIOAttribution checks that a caller-supplied tracker receives
+// exactly the I/O the result reports.
+func TestInputIOAttribution(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 500, 3, 9)
+	tree := buildTree(t, points)
+	tr := new(pager.Tracker)
+	in := Input{Tree: tree, Focal: points[3], FocalID: 3, IO: tr}
+	res, err := StrategyAA.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IO <= 0 {
+		t.Fatal("no I/O reported")
+	}
+	if tr.Reads() != res.Stats.IO {
+		t.Fatalf("tracker saw %d reads, result reports %d", tr.Reads(), res.Stats.IO)
+	}
+}
+
+// TestRunCancelled checks every strategy returns promptly on an already
+// cancelled context.
+func TestRunCancelled(t *testing.T) {
+	points := dataset.Generate(dataset.IND, 200, 2, 5)
+	tree := buildTree(t, points)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, s := range Strategies() {
+		in := Input{Tree: tree, Focal: points[0], FocalID: 0, Ctx: ctx}
+		if _, err := s.Run(in); err == nil {
+			t.Errorf("%s: cancelled context accepted", s.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,10 @@ type Config struct {
 	Queries int   // focal records averaged per measurement point
 	Seed    int64 // base RNG seed
 	Out     io.Writer
+	// Parallel runs each measurement's queries on an engine worker pool of
+	// this size (<= 1 keeps the sequential, paper-faithful timing; larger
+	// values trade per-query CPU fidelity for wall-clock speed).
+	Parallel int
 }
 
 func (c *Config) defaults() {
@@ -63,18 +68,29 @@ type Metrics struct {
 	NA      float64       // mean incomparable records accessed
 }
 
-// runQueries executes MaxRank for Queries random focal records and averages
-// the measurements.
+// runQueries executes MaxRank for Queries random focal records through a
+// query engine and averages the measurements. Per-query I/O is attributed
+// by the engine itself, so the counters stay exact even on a parallel pool.
 func runQueries(ds *repro.Dataset, cfg *Config, opts ...repro.Option) (Metrics, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed * 7656287))
+	idxs := make([]int, cfg.Queries)
+	for q := range idxs {
+		idxs[q] = rng.Intn(ds.Len())
+	}
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = 1
+	}
+	eng, err := repro.NewEngine(ds, repro.WithParallelism(parallel), repro.WithQueryDefaults(opts...))
+	if err != nil {
+		return Metrics{}, err
+	}
+	results, err := eng.QueryBatch(context.Background(), idxs)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("batch over %d focals: %w", len(idxs), err)
+	}
 	var m Metrics
-	for q := 0; q < cfg.Queries; q++ {
-		idx := rng.Intn(ds.Len())
-		ds.ResetIO()
-		res, err := repro.Compute(ds, idx, opts...)
-		if err != nil {
-			return Metrics{}, fmt.Errorf("query %d (focal %d): %w", q, idx, err)
-		}
+	for _, res := range results {
 		m.CPU += res.Stats.CPUTime
 		m.IO += float64(res.Stats.IO)
 		m.KStar += float64(res.KStar)

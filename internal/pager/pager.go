@@ -9,6 +9,8 @@ package pager
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultPageSize matches the paper's 4 KByte disk pages.
@@ -29,16 +31,25 @@ type Stats struct {
 }
 
 // Store is an in-memory simulation of a paged disk file. It is safe for
-// concurrent use.
+// concurrent use: the page table is guarded by an RWMutex so concurrent
+// readers never serialise on each other, and the activity counters are
+// atomics so the hot read path stays contention-free.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards pages and next
 	pageSize int
 	pages    map[PageID][]byte
 	next     PageID
-	stats    Stats
+
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
 	// countIO can be toggled off while bulk-building structures so that
 	// construction cost does not pollute query measurements.
-	countIO bool
+	countIO atomic.Bool
+	// latencyNs > 0 simulates disk access time: every counted read blocks
+	// for this long. Concurrent queries overlap these waits, which is
+	// exactly the win a parallel engine buys on a disk-resident index.
+	latencyNs atomic.Int64
 }
 
 // NewStore creates a store with the given page size (DefaultPageSize if
@@ -47,12 +58,13 @@ func NewStore(pageSize int) *Store {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Store{
+	s := &Store{
 		pageSize: pageSize,
 		pages:    make(map[PageID][]byte),
 		next:     1,
-		countIO:  true,
 	}
+	s.countIO.Store(true)
+	return s
 }
 
 // PageSize returns the configured page size in bytes.
@@ -61,11 +73,11 @@ func (s *Store) PageSize() int { return s.pageSize }
 // Alloc reserves a new page and returns its ID.
 func (s *Store) Alloc() PageID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := s.next
 	s.next++
 	s.pages[id] = nil
-	s.stats.Allocs++
+	s.mu.Unlock()
+	s.allocs.Add(1)
 	return id
 }
 
@@ -76,33 +88,47 @@ func (s *Store) Write(id PageID, data []byte) error {
 		return fmt.Errorf("pager: %d bytes exceed page size %d", len(data), s.pageSize)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.pages[id]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("pager: write to unallocated page %d", id)
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	s.pages[id] = buf
-	if s.countIO {
-		s.stats.Writes++
+	s.mu.Unlock()
+	if s.countIO.Load() {
+		s.writes.Add(1)
 	}
 	return nil
 }
 
 // Read returns the contents of the page. The returned slice must not be
 // modified by the caller.
-func (s *Store) Read(id PageID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Store) Read(id PageID) ([]byte, error) { return s.ReadTracked(id, nil) }
+
+// ReadTracked is Read with per-query attribution: the access is charged to
+// both the store-wide counter and the tracker (when non-nil).
+func (s *Store) ReadTracked(id PageID, tr *Tracker) ([]byte, error) {
+	s.mu.RLock()
 	data, ok := s.pages[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("pager: read of unallocated page %d", id)
 	}
-	if s.countIO {
-		s.stats.Reads++
+	if s.countIO.Load() {
+		s.reads.Add(1)
+		tr.AddReads(1)
+		if ns := s.latencyNs.Load(); ns > 0 {
+			time.Sleep(time.Duration(ns))
+		}
 	}
 	return data, nil
 }
+
+// SetLatency makes every counted page read block for d, simulating a
+// storage device (0 restores pure in-memory behaviour). Uncounted reads —
+// construction-time I/O — never block.
+func (s *Store) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
 
 // Free releases a page.
 func (s *Store) Free(id PageID) {
@@ -111,32 +137,31 @@ func (s *Store) Free(id PageID) {
 	delete(s.pages, id)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Under concurrency the snapshot
+// is per-counter consistent (each counter is read atomically).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Reads:  s.reads.Load(),
+		Writes: s.writes.Load(),
+		Allocs: s.allocs.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (typically called between the build phase
 // and the measured query phase).
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.allocs.Store(0)
 }
 
 // SetCounting toggles I/O accounting; construction code disables it so that
 // only query-time accesses are measured, mirroring the paper's methodology.
-func (s *Store) SetCounting(on bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.countIO = on
-}
+func (s *Store) SetCounting(on bool) { s.countIO.Store(on) }
 
 // NumPages returns the number of allocated pages.
 func (s *Store) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.pages)
 }

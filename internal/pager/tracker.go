@@ -1,0 +1,36 @@
+package pager
+
+import "sync/atomic"
+
+// Tracker attributes page accesses to one logical activity — typically a
+// single query — independently of the store-wide counters. Concurrent
+// queries against the same Store each carry their own Tracker, so a query's
+// reported I/O is exactly the pages *it* read, not whatever the shared
+// counter happened to accumulate while it ran.
+//
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Tracker struct {
+	reads atomic.Int64
+}
+
+// AddReads charges n page reads to the tracker.
+func (t *Tracker) AddReads(n int64) {
+	if t != nil {
+		t.reads.Add(n)
+	}
+}
+
+// Reads returns the page reads charged so far.
+func (t *Tracker) Reads() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reads.Load()
+}
+
+// Reset zeroes the tracker.
+func (t *Tracker) Reset() {
+	if t != nil {
+		t.reads.Store(0)
+	}
+}

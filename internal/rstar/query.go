@@ -13,11 +13,16 @@ import (
 // contribute their count without being read, which is how the paper derives
 // the dominator count |D+| cheaply (Section 5).
 func (t *Tree) RangeCount(window geom.Rect) (int64, error) {
-	return t.rangeCount(t.root, window)
+	return t.Reader(nil).RangeCount(window)
 }
 
-func (t *Tree) rangeCount(id pager.PageID, window geom.Rect) (int64, error) {
-	n, err := t.ReadNode(id)
+// RangeCount is Tree.RangeCount charged to the reader's tracker.
+func (r Reader) RangeCount(window geom.Rect) (int64, error) {
+	return r.rangeCount(r.t.root, window)
+}
+
+func (r Reader) rangeCount(id pager.PageID, window geom.Rect) (int64, error) {
+	n, err := r.ReadNode(id)
 	if err != nil {
 		return 0, err
 	}
@@ -37,7 +42,7 @@ func (t *Tree) rangeCount(id pager.PageID, window geom.Rect) (int64, error) {
 			total += e.Count // aggregate shortcut: no descent, no I/O
 			continue
 		}
-		sub, err := t.rangeCount(e.Child, window)
+		sub, err := r.rangeCount(e.Child, window)
 		if err != nil {
 			return 0, err
 		}
@@ -55,12 +60,17 @@ type Item struct {
 // RangeSearch invokes fn for every record inside the window. Returning
 // false from fn stops the search early.
 func (t *Tree) RangeSearch(window geom.Rect, fn func(Item) bool) error {
-	_, err := t.rangeSearch(t.root, window, fn)
+	return t.Reader(nil).RangeSearch(window, fn)
+}
+
+// RangeSearch is Tree.RangeSearch charged to the reader's tracker.
+func (r Reader) RangeSearch(window geom.Rect, fn func(Item) bool) error {
+	_, err := r.rangeSearch(r.t.root, window, fn)
 	return err
 }
 
-func (t *Tree) rangeSearch(id pager.PageID, window geom.Rect, fn func(Item) bool) (bool, error) {
-	n, err := t.ReadNode(id)
+func (r Reader) rangeSearch(id pager.PageID, window geom.Rect, fn func(Item) bool) (bool, error) {
+	n, err := r.ReadNode(id)
 	if err != nil {
 		return false, err
 	}
@@ -77,7 +87,7 @@ func (t *Tree) rangeSearch(id pager.PageID, window geom.Rect, fn func(Item) bool
 			}
 			continue
 		}
-		cont, err := t.rangeSearch(e.Child, window, fn)
+		cont, err := r.rangeSearch(e.Child, window, fn)
 		if err != nil || !cont {
 			return cont, err
 		}

@@ -14,14 +14,19 @@ import (
 // whole subtrees that cannot reach the current k-th score are never read.
 // This is the query model the MaxRank paper is defined against.
 func (t *Tree) TopK(q vecmath.Point, k int) ([]Item, error) {
-	if len(q) != t.dim {
-		return nil, fmt.Errorf("rstar: query dim %d != tree dim %d", len(q), t.dim)
+	return t.Reader(nil).TopK(q, k)
+}
+
+// TopK is Tree.TopK charged to the reader's tracker.
+func (r Reader) TopK(q vecmath.Point, k int) ([]Item, error) {
+	if len(q) != r.t.dim {
+		return nil, fmt.Errorf("rstar: query dim %d != tree dim %d", len(q), r.t.dim)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("rstar: k = %d", k)
 	}
 	pq := &scoreHeap{}
-	root, err := t.ReadNode(t.root)
+	root, err := r.ReadNode(r.t.root)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +39,7 @@ func (t *Tree) TopK(q vecmath.Point, k int) ([]Item, error) {
 			out = append(out, e.item)
 			continue
 		}
-		n, err := t.ReadNode(pager.PageID(e.node))
+		n, err := r.ReadNode(pager.PageID(e.node))
 		if err != nil {
 			return nil, err
 		}

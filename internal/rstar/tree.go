@@ -112,8 +112,14 @@ func (t *Tree) node(id pager.PageID) *Node {
 }
 
 // ReadNode fetches a node for query processing, charging one page access.
+// Use Tree.Reader to additionally attribute the access to a per-query
+// tracker.
 func (t *Tree) ReadNode(id pager.PageID) (*Node, error) {
-	data, err := t.store.Read(id)
+	return t.readNode(id, nil)
+}
+
+func (t *Tree) readNode(id pager.PageID, tr *pager.Tracker) (*Node, error) {
+	data, err := t.store.ReadTracked(id, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@
 package skyline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pager"
@@ -39,9 +40,13 @@ type entry struct {
 }
 
 // Maintainer is an incremental skyline of the records incomparable to the
-// focal record.
+// focal record. A Maintainer belongs to a single query: it reads the tree
+// through a per-query rstar.Reader (attributing I/O to that query) and
+// honours the query's context between node accesses. It is not safe for
+// concurrent use; concurrent queries each build their own Maintainer.
 type Maintainer struct {
-	tree    *rstar.Tree
+	ctx     context.Context
+	rd      rstar.Reader
 	focal   vecmath.Point
 	focalID int64
 
@@ -58,18 +63,28 @@ type Maintainer struct {
 // focal. focalID identifies the focal record itself inside the tree (pass a
 // negative value when the focal record is not part of the dataset).
 func New(tree *rstar.Tree, focal vecmath.Point, focalID int64) (*Maintainer, error) {
-	if len(focal) != tree.Dim() {
-		return nil, fmt.Errorf("skyline: focal dim %d != tree dim %d", len(focal), tree.Dim())
+	return NewForQuery(context.Background(), tree.Reader(nil), focal, focalID)
+}
+
+// NewForQuery is New for one query: node accesses go through rd (charging
+// its tracker) and ctx cancels the BBS search between accesses.
+func NewForQuery(ctx context.Context, rd rstar.Reader, focal vecmath.Point, focalID int64) (*Maintainer, error) {
+	if len(focal) != rd.Dim() {
+		return nil, fmt.Errorf("skyline: focal dim %d != tree dim %d", len(focal), rd.Dim())
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m := &Maintainer{
-		tree:     tree,
+		ctx:      ctx,
+		rd:       rd,
 		focal:    focal.Clone(),
 		focalID:  focalID,
 		activeID: make(map[int64]int),
 		expanded: make(map[int64]bool),
 		parked:   make(map[int64][]entry),
 	}
-	root, err := tree.ReadNode(tree.Root())
+	root, err := rd.ReadNode(rd.Root())
 	if err != nil {
 		return nil, err
 	}
@@ -113,17 +128,21 @@ func (m *Maintainer) Expand(id int64) ([]Record, error) {
 	return m.drain()
 }
 
-// drain processes heap entries in best-first order until the heap is empty.
+// drain processes heap entries in best-first order until the heap is empty
+// or the query's context is cancelled.
 func (m *Maintainer) drain() ([]Record, error) {
 	var added []Record
 	for len(m.heap) > 0 {
+		if err := m.ctx.Err(); err != nil {
+			return nil, err
+		}
 		e := m.pop()
 		if e.isNode {
 			if dom := m.dominatingActive(e.hi); dom >= 0 {
 				m.park(dom, e)
 				continue
 			}
-			node, err := m.tree.ReadNode(e.child)
+			node, err := m.rd.ReadNode(e.child)
 			if err != nil {
 				return nil, err
 			}

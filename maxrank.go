@@ -25,6 +25,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -49,6 +50,7 @@ type datasetConfig struct {
 	pageSize     int
 	directMemory bool
 	insertBuild  bool
+	pageLatency  time.Duration
 }
 
 // WithPageSize sets the simulated disk page size in bytes (default 4096,
@@ -67,6 +69,15 @@ func WithDirectMemory(on bool) DatasetOption {
 // full R* insertion/split/reinsert machinery) instead of bulk loading.
 func WithInsertBuild(on bool) DatasetOption {
 	return func(c *datasetConfig) { c.insertBuild = on }
+}
+
+// WithPageLatency makes every query-time page access block for d,
+// simulating a disk-resident index (the paper's other deployment
+// scenario). Index construction is unaffected. Concurrent queries overlap
+// these waits, so an Engine with parallelism > 1 recovers most of the
+// simulated I/O time.
+func WithPageLatency(d time.Duration) DatasetOption {
+	return func(c *datasetConfig) { c.pageLatency = d }
 }
 
 // NewDataset indexes the given records (one row per record; all rows must
@@ -113,6 +124,7 @@ func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 		return nil, err
 	}
 	store.ResetStats()
+	store.SetLatency(cfg.pageLatency)
 	return &Dataset{points: pts, tree: tree, store: store}, nil
 }
 

@@ -1,6 +1,9 @@
 package repro
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Algorithm selects the MaxRank processing strategy.
 type Algorithm int
@@ -36,17 +39,13 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm maps a name to an Algorithm.
+// ParseAlgorithm maps a name to an Algorithm, case-insensitively, so that
+// ParseAlgorithm(a.String()) round-trips for every Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "auto", "Auto", "AUTO":
-		return Auto, nil
-	case "fca", "FCA":
-		return FCA, nil
-	case "ba", "BA":
-		return BA, nil
-	case "aa", "AA":
-		return AA, nil
+	for _, a := range []Algorithm{Auto, FCA, BA, AA} {
+		if strings.EqualFold(name, a.String()) {
+			return a, nil
+		}
 	}
 	return 0, fmt.Errorf("repro: unknown algorithm %q", name)
 }

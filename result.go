@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,53 +85,27 @@ type Stats struct {
 	Algorithm            Algorithm
 }
 
-// Compute runs MaxRank for the dataset record with the given index.
+// Compute runs MaxRank for the dataset record with the given index. It is
+// a thin wrapper over Engine.Query with a background context; services
+// needing concurrency, batching, cancellation or timeouts should hold a
+// long-lived Engine instead.
 func Compute(ds *Dataset, focalIndex int, opts ...Option) (*Result, error) {
-	if focalIndex < 0 || focalIndex >= len(ds.points) {
-		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d)", focalIndex, len(ds.points))
+	eng, err := NewEngine(ds, WithParallelism(1))
+	if err != nil {
+		return nil, err
 	}
-	return compute(ds, ds.points[focalIndex], int64(focalIndex), opts...)
+	return eng.Query(context.Background(), focalIndex, opts...)
 }
 
 // ComputeFor runs MaxRank for a hypothetical record that is not part of the
 // dataset (the paper's "what-if" scenario: evaluating a product before
-// launching it).
+// launching it). It is a thin wrapper over Engine.QueryPoint.
 func ComputeFor(ds *Dataset, focal []float64, opts ...Option) (*Result, error) {
-	if len(focal) != ds.Dim() {
-		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d", len(focal), ds.Dim())
-	}
-	return compute(ds, vecmath.Point(focal).Clone(), -1, opts...)
-}
-
-func compute(ds *Dataset, focal vecmath.Point, focalID int64, opts ...Option) (*Result, error) {
-	cfg := queryConfig{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	in := ds.internalInput(focal, focalID, &cfg)
-
-	alg := cfg.alg
-	if alg == Auto {
-		alg = AA
-	}
-	var (
-		res *core.Result
-		err error
-	)
-	switch alg {
-	case FCA:
-		res, err = core.FCA(in)
-	case BA:
-		res, err = core.BA(in)
-	case AA:
-		res, err = core.AA(in)
-	default:
-		return nil, fmt.Errorf("repro: unsupported algorithm %v", cfg.alg)
-	}
+	eng, err := NewEngine(ds, WithParallelism(1))
 	if err != nil {
 		return nil, err
 	}
-	return convertResult(res, alg), nil
+	return eng.QueryPoint(context.Background(), focal, opts...)
 }
 
 func convertResult(res *core.Result, alg Algorithm) *Result {
