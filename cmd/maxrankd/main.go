@@ -1,0 +1,125 @@
+// Command maxrankd serves MaxRank / iMaxRank queries over HTTP.
+//
+// It loads a CSV dataset (or generates a synthetic one), builds the index
+// once, and answers queries through a long-lived engine with an optional
+// deduplicating LRU result cache. See docs/OPERATIONS.md for the full
+// endpoint reference and curl examples.
+//
+// Usage:
+//
+//	maxrankd -data hotels.csv -addr :8080 -cache 4096
+//	maxrankd -gen IND -n 10000 -dim 3 -seed 1        # synthetic dataset
+//	maxrankd -data hotels.csv -normalize -request-timeout 10s
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately and in-flight requests get a drain window to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataPath   = flag.String("data", "", "CSV dataset path (alternative to -gen)")
+		gen        = flag.String("gen", "", "generate a synthetic dataset: IND, COR or ANTI")
+		n          = flag.Int("n", 10000, "synthetic dataset cardinality (with -gen)")
+		dim        = flag.Int("dim", 3, "synthetic dataset dimensionality (with -gen)")
+		seed       = flag.Int64("seed", 1, "synthetic dataset seed (with -gen)")
+		normalize  = flag.Bool("normalize", false, "min-max normalise attributes to [0,1]")
+		cacheCap   = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		parallel   = flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
+		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "maxrankd: ", log.LstdFlags)
+
+	ds, err := loadDataset(*dataPath, *gen, *n, *dim, *seed, *normalize)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds,
+		repro.WithParallelism(*parallel),
+		repro.WithCache(*cacheCap),
+	)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv, err := server.New(eng,
+		server.WithRequestTimeout(*reqTimeout),
+		server.WithMaxBatch(*maxBatch),
+		server.WithLogger(logger),
+	)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	logger.Printf("serving %d records (%d attributes, fingerprint %s) on %s (cache=%d)",
+		ds.Len(), ds.Dim(), ds.Fingerprint(), *addr, *cacheCap)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("shutting down (drain %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		<-done
+	}
+	logger.Printf("bye")
+}
+
+// loadDataset builds the served dataset from a CSV file or a synthetic
+// generator; exactly one of path and gen must be set.
+func loadDataset(path, gen string, n, dim int, seed int64, normalize bool) (*repro.Dataset, error) {
+	switch {
+	case path != "" && gen != "":
+		return nil, fmt.Errorf("specify exactly one of -data and -gen")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pts, err := dataset.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		if normalize {
+			dataset.Normalize(pts)
+		}
+		rows := make([][]float64, len(pts))
+		for i, p := range pts {
+			rows[i] = p
+		}
+		return repro.NewDataset(rows)
+	case gen != "":
+		return repro.GenerateDataset(gen, n, dim, seed)
+	default:
+		return nil, fmt.Errorf("specify one of -data and -gen")
+	}
+}

@@ -2,11 +2,18 @@ package repro
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/pager"
 	"repro/internal/vecmath"
@@ -28,14 +35,17 @@ type Engine struct {
 	ds       *Dataset
 	parallel int
 	defaults []Option
+	cache    *cache.Cache[*Result]
+	queries  atomic.Int64
 }
 
 // EngineOption configures engine construction.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	parallel int
-	defaults []Option
+	parallel      int
+	defaults      []Option
+	cacheCapacity int
 }
 
 // WithParallelism bounds the worker pool used by QueryBatch (and any other
@@ -51,6 +61,29 @@ func WithQueryDefaults(opts ...Option) EngineOption {
 	return func(c *engineConfig) { c.defaults = append(c.defaults, opts...) }
 }
 
+// WithCache gives the engine an LRU result cache holding up to capacity
+// results, keyed by the full query identity (dataset fingerprint, focal,
+// algorithm, τ and the remaining query options). MaxRank results are
+// deterministic per key, so a repeated query is answered from memory with
+// Result.Cached set; N concurrent identical queries are deduplicated so
+// that exactly one computes while the rest wait for and share its result.
+// Capacity <= 0 disables caching (the default).
+//
+// Every Result from a cache-enabled engine shares its Regions storage
+// with the cache and with other callers of the same query — treat Regions
+// (and everything reachable from them) as read-only, whether or not
+// Cached is set.
+func WithCache(capacity int) EngineOption {
+	return func(c *engineConfig) { c.cacheCapacity = capacity }
+}
+
+// ErrBadQuery marks query failures caused by the request itself — a focal
+// index out of range, a what-if record of the wrong dimensionality, an
+// unknown algorithm, or an algorithm that does not support the dataset's
+// dimensionality — as opposed to internal failures. Test with
+// errors.Is(err, ErrBadQuery); serving layers map it to a client error.
+var ErrBadQuery = errors.New("invalid query")
+
 // NewEngine creates a query engine over the dataset.
 func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if ds == nil {
@@ -63,7 +96,11 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if cfg.parallel <= 0 {
 		cfg.parallel = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{ds: ds, parallel: cfg.parallel, defaults: cfg.defaults}, nil
+	e := &Engine{ds: ds, parallel: cfg.parallel, defaults: cfg.defaults}
+	if cfg.cacheCapacity > 0 {
+		e.cache = cache.New[*Result](cfg.cacheCapacity)
+	}
+	return e, nil
 }
 
 // Dataset returns the engine's dataset.
@@ -72,12 +109,50 @@ func (e *Engine) Dataset() *Dataset { return e.ds }
 // Parallelism returns the batch worker-pool bound.
 func (e *Engine) Parallelism() int { return e.parallel }
 
+// EngineStats is a point-in-time snapshot of an engine's serving
+// counters. The json tags fix the wire schema served by the repro/server
+// package independently of the Go field names.
+type EngineStats struct {
+	// Queries counts queries started (including cache hits and failed
+	// queries; batch items count individually).
+	Queries int64 `json:"queries"`
+	// CacheEnabled reports whether the engine was built WithCache.
+	CacheEnabled bool `json:"cache_enabled"`
+	// CacheHits counts queries answered from the cache, including callers
+	// that joined an in-flight computation of the same key.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts queries that had to compute.
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheEvictions counts results dropped because the cache was full.
+	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheSize is the number of results currently cached.
+	CacheSize int `json:"cache_size"`
+	// CacheCapacity is the cache's maximum entry count (0 when disabled).
+	CacheCapacity int `json:"cache_capacity"`
+}
+
+// Stats returns a snapshot of the engine's serving counters. Safe to call
+// concurrently with queries.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{Queries: e.queries.Load()}
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		s.CacheEnabled = true
+		s.CacheHits = cs.Hits
+		s.CacheMisses = cs.Misses
+		s.CacheEvictions = cs.Evictions
+		s.CacheSize = cs.Size
+		s.CacheCapacity = cs.Capacity
+	}
+	return s
+}
+
 // Query runs MaxRank for the dataset record with the given index. The
 // context's cancellation and deadline are honoured inside the algorithm
 // loops; a cancelled query returns ctx.Err() promptly.
 func (e *Engine) Query(ctx context.Context, focalIndex int, opts ...Option) (*Result, error) {
 	if focalIndex < 0 || focalIndex >= len(e.ds.points) {
-		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d)", focalIndex, len(e.ds.points))
+		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d): %w", focalIndex, len(e.ds.points), ErrBadQuery)
 	}
 	return e.run(ctx, e.ds.points[focalIndex], int64(focalIndex), opts)
 }
@@ -87,7 +162,7 @@ func (e *Engine) Query(ctx context.Context, focalIndex int, opts ...Option) (*Re
 // launching it).
 func (e *Engine) QueryPoint(ctx context.Context, record []float64, opts ...Option) (*Result, error) {
 	if len(record) != e.ds.Dim() {
-		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d", len(record), e.ds.Dim())
+		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d: %w", len(record), e.ds.Dim(), ErrBadQuery)
 	}
 	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts)
 }
@@ -153,11 +228,12 @@ func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Opt
 }
 
 // run executes one query: it resolves options against the engine defaults,
-// picks the strategy, and attributes I/O to a per-query tracker.
+// consults the result cache (when enabled), and otherwise computes.
 func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, opts []Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.queries.Add(1)
 	cfg := queryConfig{}
 	for _, o := range e.defaults {
 		o(&cfg)
@@ -165,15 +241,57 @@ func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, op
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if e.cache == nil {
+		return e.compute(ctx, focal, focalID, &cfg)
+	}
+	res, hit, err := e.cache.Do(ctx, e.cacheKey(focal, focalID, &cfg), func() (*Result, error) {
+		return e.compute(ctx, focal, focalID, &cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Never hand out the struct stored in the cache itself — every caller
+	// (the computing one included) gets a shallow copy, flagged Cached on
+	// hits. The Regions backing array stays shared; see WithCache.
+	cp := *res
+	cp.Cached = hit
+	return &cp, nil
+}
+
+// cacheKey identifies a query result: dataset content, focal record and
+// every query option that shapes the answer. In-dataset focals are keyed
+// by index; what-if focals (focalID < 0) by their coordinates.
+func (e *Engine) cacheKey(focal vecmath.Point, focalID int64, cfg *queryConfig) string {
+	var b strings.Builder
+	b.WriteString(e.ds.Fingerprint())
+	b.WriteByte('|')
+	if focalID >= 0 {
+		b.WriteString(strconv.FormatInt(focalID, 10))
+	} else {
+		buf := make([]byte, 0, 8*len(focal))
+		for _, v := range focal {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		b.WriteString("pt:")
+		b.WriteString(hex.EncodeToString(buf))
+	}
+	fmt.Fprintf(&b, "|%d|%d|%d|%d|%t",
+		cfg.alg.resolved(), cfg.tau, cfg.quadMaxPartial, cfg.quadMaxDepth, cfg.collectIDs)
+	return b.String()
+}
+
+// compute executes one query for real: it picks the strategy and
+// attributes I/O to a per-query tracker.
+func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64, cfg *queryConfig) (*Result, error) {
 	strat, err := cfg.alg.strategy()
 	if err != nil {
 		return nil, err
 	}
 	if d := e.ds.Dim(); !strat.SupportsDim(d) {
-		return nil, fmt.Errorf("repro: algorithm %v does not support dimensionality %d", cfg.alg.resolved(), d)
+		return nil, fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.alg.resolved(), d, ErrBadQuery)
 	}
 	tracker := new(pager.Tracker)
-	in := e.ds.internalInput(focal, focalID, &cfg)
+	in := e.ds.internalInput(focal, focalID, cfg)
 	in.Ctx = ctx
 	in.IO = tracker
 	res, err := strat.Run(in)
@@ -195,7 +313,7 @@ func (a Algorithm) strategy() (core.Algorithm, error) {
 	case BA:
 		return core.StrategyBA, nil
 	}
-	return nil, fmt.Errorf("repro: unsupported algorithm %v", a)
+	return nil, fmt.Errorf("repro: unsupported algorithm %v: %w", a, ErrBadQuery)
 }
 
 // resolved normalises Auto to the algorithm actually executed, for Stats.

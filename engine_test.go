@@ -184,7 +184,7 @@ func TestConcurrentQueries(t *testing.T) {
 // pre-cancelled context fails immediately, and cancelling an expensive
 // in-flight query makes it return long before it would have finished.
 func TestQueryCancellation(t *testing.T) {
-	ds, top := get10k(t)
+	ds, _ := get10k(t)
 	eng, err := repro.NewEngine(ds)
 	if err != nil {
 		t.Fatal(err)
@@ -199,14 +199,24 @@ func TestQueryCancellation(t *testing.T) {
 		t.Fatalf("pre-cancelled batch returned %v, want context.Canceled", err)
 	}
 
-	// The weakest record has thousands of incomparable competitors; its
-	// MaxRank takes seconds. Cancel after 50ms and require a return well
-	// under the uncancelled runtime.
-	weak := top[len(top)-1]
+	// A CPU-bound query can beat any fixed deadline on a fast machine (the
+	// weakest record of the 10k dataset answers in tens of milliseconds),
+	// so make the slow query deterministically slow: simulated page latency
+	// pushes even a strong focal's runtime to hundreds of milliseconds.
+	// Cancel after 50ms and require a return well under the uncancelled
+	// runtime.
+	slow, err := repro.GenerateDataset("IND", 2000, 3, 42, repro.WithPageLatency(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowEng, err := repro.NewEngine(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err = eng.Query(ctx, weak)
+	_, err = slowEng.Query(ctx, 17)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("cancelled query returned %v, want context.DeadlineExceeded", err)

@@ -1,0 +1,44 @@
+package cache_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// ExampleCache_Do shows the lookup-or-compute flow: the first call
+// computes, the repeat is served from the cache, and concurrent calls for
+// the same key would share the first computation.
+func ExampleCache_Do() {
+	c := cache.New[string](128)
+	ctx := context.Background()
+	expensive := func() (string, error) {
+		fmt.Println("computing...")
+		return "answer", nil
+	}
+	v, hit, _ := c.Do(ctx, "query-key", expensive)
+	fmt.Println(v, hit)
+	v, hit, _ = c.Do(ctx, "query-key", expensive)
+	fmt.Println(v, hit)
+	// Output:
+	// computing...
+	// answer false
+	// answer true
+}
+
+// ExampleCache_Stats shows LRU eviction: the cache holds the two most
+// recently used entries and counts the drop.
+func ExampleCache_Stats() {
+	c := cache.New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3) // evicts "a"
+	_, ok := c.Get("a")
+	fmt.Println("a present:", ok)
+	s := c.Stats()
+	fmt.Printf("size = %d, evictions = %d\n", s.Size, s.Evictions)
+	// Output:
+	// a present: false
+	// size = 2, evictions = 1
+}

@@ -24,7 +24,12 @@
 package repro
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +46,9 @@ type Dataset struct {
 	points []vecmath.Point
 	tree   *rstar.Tree
 	store  *pager.Store
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // DatasetOption configures dataset construction.
@@ -159,6 +167,28 @@ func (ds *Dataset) IOReads() int64 { return ds.store.Stats().Reads }
 
 // ResetIO zeroes the page-access counters.
 func (ds *Dataset) ResetIO() { ds.store.ResetStats() }
+
+// Fingerprint returns a stable hex digest of the dataset content (the
+// record values, in order, plus the dimensionality). Two datasets with the
+// same records share a fingerprint regardless of how they were indexed, so
+// it identifies a dataset across processes — it keys the result cache and
+// is reported by the serving layer. Computed lazily once and then cached.
+func (ds *Dataset) Fingerprint() string {
+	ds.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(ds.Dim()))
+		h.Write(buf[:])
+		for _, p := range ds.points {
+			for _, v := range p {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				h.Write(buf[:])
+			}
+		}
+		ds.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return ds.fp
+}
 
 // Score returns record i's score under the (full, d-dimensional) query
 // vector q.

@@ -24,6 +24,8 @@ const (
 	AA
 )
 
+// String returns the algorithm's canonical name ("Auto", "FCA", "BA",
+// "AA"); ParseAlgorithm accepts it back, case-insensitively.
 func (a Algorithm) String() string {
 	switch a {
 	case Auto:

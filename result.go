@@ -22,8 +22,16 @@ type Result struct {
 	// Regions lists every region of the preference space where the focal
 	// record's rank is within [KStar, KStar+τ], sorted by ascending rank.
 	Regions []Region
-	// Stats reports the query's cost counters.
+	// Stats reports the query's cost counters. For a cached Result these
+	// are the counters of the original computation, not of the lookup.
 	Stats Stats
+	// Cached reports that this Result was served from an engine's result
+	// cache (see WithCache) rather than computed for this call. Results
+	// from a cache-enabled engine share their Regions storage with the
+	// cache: treat Regions as read-only whether or not Cached is set.
+	// Apart from this flag, a cached Result is identical to the originally
+	// computed one.
+	Cached bool
 }
 
 // Region is one region of the preference space. Geometry lives in the
@@ -72,17 +80,28 @@ func (r *Region) Contains(q []float64, tol float64) bool {
 	return true
 }
 
-// Stats reports the cost counters the paper's evaluation tracks.
+// Stats reports the cost counters the paper's evaluation tracks
+// (Section 8).
 type Stats struct {
-	CPUTime              time.Duration
-	IO                   int64 // page accesses
-	IncomparableAccessed int64 // n (BA/FCA) or n_a (AA)
-	HalfspacesInserted   int
-	LPCalls              int64
-	LeavesProcessed      int
-	LeavesPruned         int
-	Iterations           int
-	Algorithm            Algorithm
+	// CPUTime is the wall-clock time of the computation.
+	CPUTime time.Duration
+	// IO is the number of simulated page accesses attributed to this query.
+	IO int64
+	// IncomparableAccessed is n (BA/FCA) or n_a (AA): the incomparable
+	// records the algorithm actually examined.
+	IncomparableAccessed int64
+	// HalfspacesInserted counts half-spaces inserted into the quad-tree.
+	HalfspacesInserted int
+	// LPCalls counts simplex invocations by the within-leaf enumerator.
+	LPCalls int64
+	// LeavesProcessed and LeavesPruned count quad-tree leaves enumerated
+	// versus discarded by the order bounds.
+	LeavesProcessed int
+	LeavesPruned    int
+	// Iterations counts AA's incremental expansion rounds (1 for BA/FCA).
+	Iterations int
+	// Algorithm is the strategy that produced the result (Auto resolved).
+	Algorithm Algorithm
 }
 
 // Compute runs MaxRank for the dataset record with the given index. It is

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// QueryRequest is the body of POST /v1/query. Exactly one of Focal (an
+// index into the served dataset) or Point (a what-if record with the
+// dataset's dimensionality) must be set.
+type QueryRequest struct {
+	// Focal is the index of the focal record in the served dataset.
+	Focal *int `json:"focal,omitempty"`
+	// Point is a hypothetical focal record (the paper's what-if scenario).
+	Point []float64 `json:"point,omitempty"`
+	// Algorithm selects the strategy by name ("auto", "fca", "ba", "aa");
+	// empty means auto.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Tau enables iMaxRank: regions with rank up to k*+tau are reported.
+	Tau int `json:"tau,omitempty"`
+	// OutrankIDs materialises, per region, the IDs of the records that
+	// outrank the focal record there.
+	OutrankIDs bool `json:"outrank_ids,omitempty"`
+	// MaxRegions truncates the reported regions (0 = all); TotalRegions in
+	// the response always reports the untruncated count.
+	MaxRegions int `json:"max_regions,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query, and one
+// element of a batch response.
+type QueryResponse struct {
+	// KStar is the best rank the focal record can achieve.
+	KStar int `json:"k_star"`
+	// Dominators is the number of records outranking the focal record
+	// under every preference.
+	Dominators int64 `json:"dominators"`
+	// MinOrder is the minimum arrangement-cell order (KStar-Dominators-1).
+	MinOrder int `json:"min_order"`
+	// Cached reports that the answer came from the engine's result cache.
+	Cached bool `json:"cached"`
+	// TotalRegions is the full region count, before MaxRegions truncation.
+	TotalRegions int `json:"total_regions"`
+	// Regions lists the qualifying regions, best rank first.
+	Regions []RegionJSON `json:"regions"`
+	// Stats reports the cost of the (possibly cached) computation.
+	Stats QueryStats `json:"stats"`
+}
+
+// RegionJSON is the wire form of one repro.Region.
+type RegionJSON struct {
+	// Rank of the focal record anywhere in this region.
+	Rank int `json:"rank"`
+	// Order is the region's arrangement-cell order (Rank-Dominators-1).
+	Order int `json:"order"`
+	// Witness is a point inside the region, in reduced (d-1)-dim
+	// preference coordinates.
+	Witness []float64 `json:"witness"`
+	// QueryVector is the witness lifted to a full d-dim preference.
+	QueryVector []float64 `json:"query_vector"`
+	// BoxLo and BoxHi bound the region in reduced coordinates.
+	BoxLo []float64 `json:"box_lo"`
+	BoxHi []float64 `json:"box_hi"`
+	// OutrankIDs lists the records outranking the focal here (present only
+	// when the request set outrank_ids).
+	OutrankIDs []int64 `json:"outrank_ids,omitempty"`
+}
+
+// QueryStats is the wire form of repro.Stats. For a cached answer these
+// are the counters of the original computation.
+type QueryStats struct {
+	// CPUMicros is the computation's CPU time in microseconds.
+	CPUMicros int64 `json:"cpu_us"`
+	// IOPages is the number of simulated page accesses.
+	IOPages int64 `json:"io_pages"`
+	// RecordsAccessed is n (BA/FCA) or n_a (AA) in the paper's accounting.
+	RecordsAccessed int64 `json:"records_accessed"`
+	// Algorithm names the strategy that computed the answer.
+	Algorithm string `json:"algorithm"`
+}
+
+// BatchRequest is the body of POST /v1/batch: the listed focal indexes are
+// queried on the engine's worker pool under shared options.
+type BatchRequest struct {
+	// Focals lists the in-dataset focal record indexes to query.
+	Focals []int `json:"focals"`
+	// Algorithm, Tau, OutrankIDs and MaxRegions apply to every query; see
+	// QueryRequest.
+	Algorithm  string `json:"algorithm,omitempty"`
+	Tau        int    `json:"tau,omitempty"`
+	OutrankIDs bool   `json:"outrank_ids,omitempty"`
+	MaxRegions int    `json:"max_regions,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch; Results align
+// with the requested focal order.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Dataset DatasetStats      `json:"dataset"`
+	Engine  repro.EngineStats `json:"engine"`
+	Server  ServerStats       `json:"server"`
+}
+
+// DatasetStats describes the served dataset.
+type DatasetStats struct {
+	// Records and Dim are the dataset's cardinality and dimensionality.
+	Records int `json:"records"`
+	Dim     int `json:"dim"`
+	// Fingerprint is the dataset content digest that keys the result cache.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ServerStats reports the HTTP-layer counters.
+type ServerStats struct {
+	// Requests counts every request routed to a handler since start.
+	Requests int64 `json:"requests"`
+	// Errors counts requests answered with a 4xx or 5xx status.
+	Errors int64 `json:"errors"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// handleQuery serves POST /v1/query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if (req.Focal == nil) == (len(req.Point) == 0) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("exactly one of focal or point must be set"))
+		return
+	}
+	opts, err := queryOptions(req.Algorithm, req.Tau, req.OutrankIDs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	var res *repro.Result
+	if req.Focal != nil {
+		res, err = s.eng.Query(ctx, *req.Focal, opts...)
+	} else {
+		res, err = s.eng.QueryPoint(ctx, req.Point, opts...)
+	}
+	if err != nil {
+		s.fail(w, queryStatus(err), err)
+		return
+	}
+	s.reply(w, http.StatusOK, convertResult(res, req.MaxRegions))
+}
+
+// handleBatch serves POST /v1/batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Focals) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("focals must be non-empty"))
+		return
+	}
+	if len(req.Focals) > s.maxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the limit of %d", len(req.Focals), s.maxBatch))
+		return
+	}
+	opts, err := queryOptions(req.Algorithm, req.Tau, req.OutrankIDs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, err := s.eng.QueryBatch(ctx, req.Focals, opts...)
+	if err != nil {
+		s.fail(w, queryStatus(err), err)
+		return
+	}
+	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = convertResult(res, req.MaxRegions)
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ds := s.eng.Dataset()
+	s.reply(w, http.StatusOK, StatsResponse{
+		Dataset: DatasetStats{
+			Records:     ds.Len(),
+			Dim:         ds.Dim(),
+			Fingerprint: ds.Fingerprint(),
+		},
+		Engine: s.eng.Stats(),
+		Server: ServerStats{
+			Requests:      s.requests.Load(),
+			Errors:        s.errors.Load(),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		},
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// requestContext derives the handler context, applying the per-request
+// timeout when one is configured.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// decode parses the JSON request body into dst, answering 400 itself on
+// malformed input and reporting whether the handler should proceed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// reply writes a JSON response.
+func (s *Server) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.logf("server: encoding response: %v", err)
+	}
+}
+
+// fail writes a JSON error response and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	s.logf("server: %d: %v", status, err)
+	s.reply(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// queryStatus maps a query error to an HTTP status: request-caused
+// failures (repro.ErrBadQuery) are 400, deadline overruns 504, client
+// disconnects 408, and anything else is a genuine internal failure, 500 —
+// so 5xx-based alerting sees engine bugs rather than blaming the client.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, repro.ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// queryOptions assembles the engine options shared by query and batch.
+func queryOptions(algorithm string, tau int, outrankIDs bool) ([]repro.Option, error) {
+	var opts []repro.Option
+	if algorithm != "" {
+		alg, err := repro.ParseAlgorithm(algorithm)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, repro.WithAlgorithm(alg))
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("tau must be >= 0, got %d", tau)
+	}
+	if tau > 0 {
+		opts = append(opts, repro.WithTau(tau))
+	}
+	if outrankIDs {
+		opts = append(opts, repro.WithOutrankIDs(true))
+	}
+	return opts, nil
+}
+
+// convertResult maps a repro.Result to its wire form, truncating regions
+// to maxRegions when positive.
+func convertResult(res *repro.Result, maxRegions int) QueryResponse {
+	out := QueryResponse{
+		KStar:        res.KStar,
+		Dominators:   res.Dominators,
+		MinOrder:     res.MinOrder,
+		Cached:       res.Cached,
+		TotalRegions: len(res.Regions),
+		Stats: QueryStats{
+			CPUMicros:       res.Stats.CPUTime.Microseconds(),
+			IOPages:         res.Stats.IO,
+			RecordsAccessed: res.Stats.IncomparableAccessed,
+			Algorithm:       res.Stats.Algorithm.String(),
+		},
+	}
+	n := len(res.Regions)
+	if maxRegions > 0 && maxRegions < n {
+		n = maxRegions
+	}
+	out.Regions = make([]RegionJSON, n)
+	for i := 0; i < n; i++ {
+		reg := &res.Regions[i]
+		out.Regions[i] = RegionJSON{
+			Rank:        reg.Rank,
+			Order:       reg.Order,
+			Witness:     reg.Witness,
+			QueryVector: reg.QueryVector,
+			BoxLo:       reg.BoxLo,
+			BoxHi:       reg.BoxHi,
+			OutrankIDs:  reg.OutrankIDs,
+		}
+	}
+	return out
+}

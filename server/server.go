@@ -1,0 +1,207 @@
+// Package server exposes a repro.Engine over an HTTP/JSON API — the
+// serving layer behind the maxrankd daemon.
+//
+// Endpoints:
+//
+//	POST /v1/query   one MaxRank / iMaxRank query (in-dataset or what-if focal)
+//	POST /v1/batch   many queries on the engine's worker pool
+//	GET  /v1/stats   dataset, engine/cache and server counters
+//	GET  /healthz    liveness probe
+//	GET  /debug/vars expvar metrics (Go runtime + maxrank counters)
+//
+// Every request runs under a per-request timeout, responses are JSON, and
+// Shutdown drains in-flight requests (graceful shutdown). Results are
+// served from the engine's deduplicating cache when it was built with
+// repro.WithCache; a cached answer is marked "cached": true and is
+// byte-identical to any other cached answer for the same query.
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Server serves MaxRank queries from one engine. Construct with New; the
+// zero value is not usable. A Server is itself an http.Handler, so it can
+// be mounted under a larger mux or driven by httptest.
+type Server struct {
+	eng      *repro.Engine
+	mux      *http.ServeMux
+	timeout  time.Duration
+	maxBatch int
+	maxBody  int64
+	logger   *log.Logger
+	start    time.Time
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+	closed  bool // Shutdown was called; Serve must not (re)start
+
+	requests atomic.Int64 // all requests routed to a handler
+	errors   atomic.Int64 // requests answered with a 4xx/5xx status
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds each query/batch request: when the deadline
+// passes, the computation is cancelled inside the algorithm loops and the
+// request fails with 504. Default 30s; d <= 0 disables the bound.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxBatch caps the number of focals accepted by one /v1/batch
+// request (default 1024).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithLogger routes request-failure logging to l (default: the standard
+// logger; nil silences logging).
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// New builds a Server over the engine.
+func New(eng *repro.Engine, opts ...Option) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	s := &Server{
+		eng:      eng,
+		timeout:  30 * time.Second,
+		maxBatch: 1024,
+		maxBody:  1 << 20,
+		logger:   log.Default(),
+		start:    time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	publishExpvar(s)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine returns the engine the server queries.
+func (s *Server) Engine() *repro.Engine { return s.eng }
+
+// ListenAndServe serves on addr until Shutdown (or a listener error). It
+// blocks; on graceful shutdown it returns nil rather than
+// http.ErrServerClosed.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown. It blocks; on
+// graceful shutdown it returns nil rather than http.ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.httpMu.Lock()
+	if s.closed {
+		// Shutdown already ran (possibly before Serve was reached — e.g. a
+		// SIGTERM racing process start). Behave like a completed graceful
+		// shutdown instead of serving a server that can no longer be
+		// stopped.
+		s.httpMu.Unlock()
+		ln.Close()
+		return nil
+	}
+	if s.httpSrv != nil {
+		s.httpMu.Unlock()
+		return fmt.Errorf("server: already serving")
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	if err := srv.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown gracefully stops a Serve/ListenAndServe in progress: the
+// listener closes immediately and in-flight requests get until ctx's
+// deadline to finish. Calling Shutdown before Serve is safe and makes a
+// later Serve return immediately, so a signal that lands during process
+// start cannot leave an unstoppable server behind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.httpMu.Lock()
+	s.closed = true
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// logf logs through the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// expvar integration. The expvar registry is global and rejects duplicate
+// names, so the package publishes one "maxrank" map whose values follow
+// the most recently constructed Server (in production there is exactly
+// one; tests may build many).
+var (
+	expvarOnce   sync.Once
+	expvarTarget atomic.Pointer[Server]
+)
+
+func publishExpvar(s *Server) {
+	expvarTarget.Store(s)
+	expvarOnce.Do(func() {
+		m := new(expvar.Map).Init()
+		counter := func(get func(*Server) int64) expvar.Func {
+			return func() any {
+				if t := expvarTarget.Load(); t != nil {
+					return get(t)
+				}
+				return int64(0)
+			}
+		}
+		m.Set("requests", counter(func(t *Server) int64 { return t.requests.Load() }))
+		m.Set("errors", counter(func(t *Server) int64 { return t.errors.Load() }))
+		m.Set("queries", counter(func(t *Server) int64 { return t.eng.Stats().Queries }))
+		m.Set("cache_hits", counter(func(t *Server) int64 { return t.eng.Stats().CacheHits }))
+		m.Set("cache_misses", counter(func(t *Server) int64 { return t.eng.Stats().CacheMisses }))
+		m.Set("cache_evictions", counter(func(t *Server) int64 { return t.eng.Stats().CacheEvictions }))
+		m.Set("cache_size", counter(func(t *Server) int64 { return int64(t.eng.Stats().CacheSize) }))
+		expvar.Publish("maxrank", m)
+	})
+}
