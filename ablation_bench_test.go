@@ -18,6 +18,7 @@ func BenchmarkAblation_QuadThreshold(b *testing.B) {
 	}
 	for _, threshold := range []int{6, 12, 24, 48} {
 		b.Run(fmt.Sprintf("maxPartial=%d", threshold), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				focal := (i * 131) % ds.Len()
 				_, err := repro.Compute(ds, focal,
@@ -41,6 +42,7 @@ func BenchmarkAblation_AAvsBA(b *testing.B) {
 	}
 	for _, alg := range []repro.Algorithm{repro.AA, repro.BA} {
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := repro.Compute(ds, (i*37)%ds.Len(), repro.WithAlgorithm(alg)); err != nil {
 					b.Fatal(err)
@@ -68,6 +70,7 @@ func BenchmarkAblation_DirectMemory(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("direct=%v", direct), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := repro.Compute(ds, (i*53)%ds.Len()); err != nil {
 					b.Fatal(err)

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,15 +14,48 @@ import (
 	"repro/internal/dataset"
 )
 
-// benchQueries runs MaxRank for a fixed set of focal records.
+// benchQueries runs MaxRank for a fixed set of focal records. Compute
+// uses the engine defaults, so queries fan out over GOMAXPROCS intra-query
+// workers; BenchmarkQueryParallelism isolates that knob.
 func benchQueries(b *testing.B, ds *repro.Dataset, opts ...repro.Option) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		focal := (i * 7919) % ds.Len()
 		if _, err := repro.Compute(ds, focal, opts...); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryParallelism measures how a single MaxRank query scales
+// with intra-query workers (IND, n = 2000, d = 4 — the heavy Fig8 shape):
+// identical focal sequence and bit-identical answers at every setting, so
+// ns/op ratios are pure parallel speedup. workers=1 is the sequential
+// baseline; the speedup reported in BENCH_PR3.json is workers=1 divided
+// by the largest worker count.
+func BenchmarkQueryParallelism(b *testing.B) {
+	ds, err := repro.GenerateDataset("IND", 2000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := repro.NewEngine(ds, repro.WithQueryParallelism(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				focal := (i * 7919) % ds.Len()
+				if _, err := eng.Query(ctx, focal, repro.WithAlgorithm(repro.AA)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -131,6 +165,7 @@ func BenchmarkFig12_ScoreRatio(b *testing.B) {
 			q[i] = 1 / float64(d)
 		}
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				maxS, minS := -1.0, 1e18
 				for _, p := range pts {
@@ -166,6 +201,7 @@ func BenchmarkSubstrates(b *testing.B) {
 		rows[i] = ds.Point(i)
 	}
 	b.Run("BulkLoad/n=20000", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := repro.NewDataset(rows); err != nil {
 				b.Fatal(err)
@@ -173,6 +209,7 @@ func BenchmarkSubstrates(b *testing.B) {
 		}
 	})
 	b.Run("InsertBuild/n=2000", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := repro.NewDataset(rows[:2000], repro.WithInsertBuild(true)); err != nil {
 				b.Fatal(err)

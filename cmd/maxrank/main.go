@@ -7,6 +7,7 @@
 //	maxrank -data hotels.csv -focal 17 -tau 2 -alg aa -ids
 //	maxrank -data hotels.csv -batch 3,17,42 -parallel 4 # batch on a pool
 //	maxrank -data hotels.csv -focal 17 -timeout 5s      # bounded latency
+//	maxrank -data hotels.csv -focal 17 -query-parallel 8 # one query, 8 workers
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		showIDs   = flag.Bool("ids", false, "report the records outranking the focal per region")
 		maxShow   = flag.Int("regions", 10, "max regions to print")
 		parallel  = flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		queryPar  = flag.Int("query-parallel", 0, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	)
 	flag.Parse()
@@ -77,7 +79,10 @@ func main() {
 	}
 	opts := []repro.Option{repro.WithAlgorithm(alg), repro.WithTau(*tau), repro.WithOutrankIDs(*showIDs)}
 
-	eng, err := repro.NewEngine(ds, repro.WithParallelism(*parallel))
+	eng, err := repro.NewEngine(ds,
+		repro.WithParallelism(*parallel),
+		repro.WithQueryParallelism(*queryPar),
+	)
 	if err != nil {
 		fatal(err)
 	}

@@ -32,15 +32,22 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		dataPath   = flag.String("data", "", "CSV dataset path (alternative to -gen)")
-		gen        = flag.String("gen", "", "generate a synthetic dataset: IND, COR or ANTI")
-		n          = flag.Int("n", 10000, "synthetic dataset cardinality (with -gen)")
-		dim        = flag.Int("dim", 3, "synthetic dataset dimensionality (with -gen)")
-		seed       = flag.Int64("seed", 1, "synthetic dataset seed (with -gen)")
-		normalize  = flag.Bool("normalize", false, "min-max normalise attributes to [0,1]")
-		cacheCap   = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
-		parallel   = flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataPath  = flag.String("data", "", "CSV dataset path (alternative to -gen)")
+		gen       = flag.String("gen", "", "generate a synthetic dataset: IND, COR or ANTI")
+		n         = flag.Int("n", 10000, "synthetic dataset cardinality (with -gen)")
+		dim       = flag.Int("dim", 3, "synthetic dataset dimensionality (with -gen)")
+		seed      = flag.Int64("seed", 1, "synthetic dataset seed (with -gen)")
+		normalize = flag.Bool("normalize", false, "min-max normalise attributes to [0,1]")
+		cacheCap  = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
+		parallel  = flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		// The daemon serves many requests concurrently, so its default
+		// parallelism axis is ACROSS queries; each in-flight request staying
+		// sequential keeps N concurrent requests at ~N busy goroutines
+		// instead of N x GOMAXPROCS. Deployments dominated by single heavy
+		// queries opt in with -query-parallel 0 (= GOMAXPROCS) or an
+		// explicit worker count; see docs/PERFORMANCE.md.
+		queryPar   = flag.Int("query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
@@ -54,6 +61,7 @@ func main() {
 	}
 	eng, err := repro.NewEngine(ds,
 		repro.WithParallelism(*parallel),
+		repro.WithQueryParallelism(*queryPar),
 		repro.WithCache(*cacheCap),
 	)
 	if err != nil {

@@ -32,11 +32,12 @@ import (
 // in pooled execution states inside the core package — so one Engine (and
 // one Dataset) serves an arbitrary number of goroutines.
 type Engine struct {
-	ds       *Dataset
-	parallel int
-	defaults []Option
-	cache    *cache.Cache[*Result]
-	queries  atomic.Int64
+	ds            *Dataset
+	parallel      int
+	queryParallel int
+	defaults      []Option
+	cache         *cache.Cache[*Result]
+	queries       atomic.Int64
 }
 
 // EngineOption configures engine construction.
@@ -44,6 +45,7 @@ type EngineOption func(*engineConfig)
 
 type engineConfig struct {
 	parallel      int
+	queryParallel int
 	defaults      []Option
 	cacheCapacity int
 }
@@ -53,6 +55,30 @@ type engineConfig struct {
 // not limit direct Query calls, which run on the caller's goroutine.
 func WithParallelism(n int) EngineOption {
 	return func(c *engineConfig) { c.parallel = n }
+}
+
+// WithQueryParallelism bounds the *intra-query* parallelism: the number of
+// goroutines one query may fan its cell-processing core out to (quad-tree
+// leaf enumeration in BA and every AA iteration, the expansion scan in the
+// d = 2 specialisation). The default is runtime.GOMAXPROCS(0); 1 keeps the
+// fully sequential per-query path.
+//
+// The answer — regions, ranks, witnesses, Stats.IO — is bit-identical at
+// every setting. Only the work counters (Stats.LPCalls, LeavesProcessed,
+// LeavesPruned) become scheduling-dependent above 1, because a worker may
+// enumerate a leaf before a better interim bound would have pruned it;
+// runs that need exactly reproducible counters (paper experiments) should
+// set 1.
+//
+// Direct Query / QueryPoint calls use the full budget. QueryBatch divides
+// it by the number of batch workers actually running (never below 1), so
+// the two defaults compose to roughly GOMAXPROCS busy goroutines instead
+// of multiplying to GOMAXPROCS². Deployments that want a different split
+// set the knobs explicitly: batch-heavy workloads get their parallelism
+// across queries (query parallelism 1), latency-sensitive single queries
+// get it within the query.
+func WithQueryParallelism(n int) EngineOption {
+	return func(c *engineConfig) { c.queryParallel = n }
 }
 
 // WithQueryDefaults sets query options applied to every query before the
@@ -96,7 +122,10 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if cfg.parallel <= 0 {
 		cfg.parallel = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{ds: ds, parallel: cfg.parallel, defaults: cfg.defaults}
+	if cfg.queryParallel <= 0 {
+		cfg.queryParallel = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{ds: ds, parallel: cfg.parallel, queryParallel: cfg.queryParallel, defaults: cfg.defaults}
 	if cfg.cacheCapacity > 0 {
 		e.cache = cache.New[*Result](cfg.cacheCapacity)
 	}
@@ -108,6 +137,9 @@ func (e *Engine) Dataset() *Dataset { return e.ds }
 
 // Parallelism returns the batch worker-pool bound.
 func (e *Engine) Parallelism() int { return e.parallel }
+
+// QueryParallelism returns the intra-query worker bound.
+func (e *Engine) QueryParallelism() int { return e.queryParallel }
 
 // EngineStats is a point-in-time snapshot of an engine's serving
 // counters. The json tags fix the wire schema served by the repro/server
@@ -151,10 +183,14 @@ func (e *Engine) Stats() EngineStats {
 // context's cancellation and deadline are honoured inside the algorithm
 // loops; a cancelled query returns ctx.Err() promptly.
 func (e *Engine) Query(ctx context.Context, focalIndex int, opts ...Option) (*Result, error) {
+	return e.query(ctx, focalIndex, opts, e.queryParallel)
+}
+
+func (e *Engine) query(ctx context.Context, focalIndex int, opts []Option, workers int) (*Result, error) {
 	if focalIndex < 0 || focalIndex >= len(e.ds.points) {
 		return nil, fmt.Errorf("repro: focal index %d out of range [0,%d): %w", focalIndex, len(e.ds.points), ErrBadQuery)
 	}
-	return e.run(ctx, e.ds.points[focalIndex], int64(focalIndex), opts)
+	return e.run(ctx, e.ds.points[focalIndex], int64(focalIndex), opts, workers)
 }
 
 // QueryPoint runs MaxRank for a hypothetical record that is not part of
@@ -164,14 +200,16 @@ func (e *Engine) QueryPoint(ctx context.Context, record []float64, opts ...Optio
 	if len(record) != e.ds.Dim() {
 		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d: %w", len(record), e.ds.Dim(), ErrBadQuery)
 	}
-	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts)
+	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts, e.queryParallel)
 }
 
 // QueryBatch runs MaxRank for every listed focal record on a worker pool
 // bounded by the engine's parallelism, returning results in input order.
 // The first query error cancels the remaining work and is returned (wrapped
 // with the offending focal index); likewise ctx cancellation aborts the
-// whole batch.
+// whole batch. The engine's intra-query parallelism is divided across the
+// batch workers (see WithQueryParallelism), so a batch does not
+// oversubscribe the machine.
 func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Option) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -182,6 +220,14 @@ func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Opt
 	workers := e.parallel
 	if workers > len(focalIndexes) {
 		workers = len(focalIndexes)
+	}
+	// Divide the intra-query budget across the batch workers (never below
+	// 1): with both knobs at their GOMAXPROCS defaults a batch keeps about
+	// GOMAXPROCS goroutines busy rather than GOMAXPROCS². Results do not
+	// depend on the worker count, so the division is invisible in answers.
+	perQuery := e.queryParallel / workers
+	if perQuery < 1 {
+		perQuery = 1
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -208,7 +254,7 @@ func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Opt
 				if i >= len(focalIndexes) || ctx.Err() != nil {
 					return
 				}
-				res, err := e.Query(ctx, focalIndexes[i], opts...)
+				res, err := e.query(ctx, focalIndexes[i], opts, perQuery)
 				if err != nil {
 					fail(fmt.Errorf("repro: batch query for focal %d: %w", focalIndexes[i], err))
 					return
@@ -228,8 +274,10 @@ func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Opt
 }
 
 // run executes one query: it resolves options against the engine defaults,
-// consults the result cache (when enabled), and otherwise computes.
-func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, opts []Option) (*Result, error) {
+// consults the result cache (when enabled), and otherwise computes with
+// the given intra-query worker budget. The budget never shapes the
+// answer, so it is not part of the cache key.
+func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, opts []Option, workers int) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -242,10 +290,10 @@ func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, op
 		o(&cfg)
 	}
 	if e.cache == nil {
-		return e.compute(ctx, focal, focalID, &cfg)
+		return e.compute(ctx, focal, focalID, &cfg, workers)
 	}
 	res, hit, err := e.cache.Do(ctx, e.cacheKey(focal, focalID, &cfg), func() (*Result, error) {
-		return e.compute(ctx, focal, focalID, &cfg)
+		return e.compute(ctx, focal, focalID, &cfg, workers)
 	})
 	if err != nil {
 		return nil, err
@@ -282,7 +330,7 @@ func (e *Engine) cacheKey(focal vecmath.Point, focalID int64, cfg *queryConfig) 
 
 // compute executes one query for real: it picks the strategy and
 // attributes I/O to a per-query tracker.
-func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64, cfg *queryConfig) (*Result, error) {
+func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64, cfg *queryConfig, workers int) (*Result, error) {
 	strat, err := cfg.alg.strategy()
 	if err != nil {
 		return nil, err
@@ -294,6 +342,7 @@ func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64
 	in := e.ds.internalInput(focal, focalID, cfg)
 	in.Ctx = ctx
 	in.IO = tracker
+	in.Workers = workers
 	res, err := strat.Run(in)
 	if err != nil {
 		return nil, err

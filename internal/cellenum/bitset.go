@@ -71,6 +71,18 @@ func (b Bitset) Equal(o Bitset) bool {
 	return true
 }
 
+// AppendKey appends the bitset's compact key encoding to dst and returns
+// it. Looking a reused buffer up as map[string(buf)] lets hot loops probe
+// key maps without allocating; Key remains the allocating convenience.
+func (b Bitset) AppendKey(dst []byte) []byte {
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			dst = append(dst, byte(w>>uint(s)))
+		}
+	}
+	return dst
+}
+
 // Key returns a compact string usable as a map key.
 func (b Bitset) Key() string {
 	buf := make([]byte, 0, len(b)*8)

@@ -1,3 +1,8 @@
+// Package cellenum implements the within-leaf processing module of Section
+// 5.2 of the MaxRank paper: enumerate arrangement cells inside one quad-tree
+// leaf in increasing p-order (Hamming weight of the cell's bit-string),
+// pruning bit-strings that violate pairwise binary conditions, and testing
+// the survivors for non-zero extent by half-space intersection (LP).
 package cellenum
 
 import (
@@ -83,6 +88,155 @@ type Result struct {
 	Truncated bool
 }
 
+// sampleCell is one distinct bit pattern certified non-empty by a sample.
+type sampleCell struct {
+	witness vecmath.Point
+	weight  int
+}
+
+// Enumerator owns the scratch of within-leaf enumeration — the pooled LP
+// solver, constraint buffers, sample points, bit patterns, the pairwise
+// condition tables and the subset-DFS state — and recycles all of it across
+// Enumerate calls. One query worker holds one Enumerator, so the per-cell
+// hot path performs no steady-state allocations beyond the cells it
+// actually returns (whose In sets and witnesses escape into Results).
+//
+// The zero value is ready to use. An Enumerator is not safe for concurrent
+// use; give each worker its own.
+type Enumerator struct {
+	feas geom.Feasibility
+
+	// Constraint scratch. fixed holds the leaf box + simplex rows over
+	// normals owned by fixedA; compl holds per-partial complements over
+	// normals owned by complA; probe and cons are assembly buffers.
+	fixed  []geom.Halfspace
+	fixedA []vecmath.Point
+	compl  []geom.Halfspace
+	complA []vecmath.Point
+	probe  []geom.Halfspace
+	cons   []geom.Halfspace
+
+	anchor vecmath.Point
+	tmp    vecmath.Point
+
+	active   []int
+	samples  []vecmath.Point
+	patterns []Bitset
+	known    map[string]sampleCell
+	keyBuf   []byte
+
+	// Subset-DFS scratch.
+	sel       []int
+	bits      Bitset
+	forbidden Bitset
+	scratch   []Bitset
+
+	// Pairwise binary-condition tables.
+	cond        binaryConditions
+	memberOf    []Bitset
+	notMemberOf []Bitset
+}
+
+// Enumerate is the allocation-per-call convenience wrapper around a
+// throwaway Enumerator; hot loops should hold an Enumerator.
+func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
+	var e Enumerator
+	return e.Enumerate(box, partial, cfg)
+}
+
+// Reset drops the references the scratch holds into caller-owned geometry
+// (the partial half-spaces of the last processed leaf), so a pooled
+// Enumerator does not pin a finished query's arrangement. The numeric
+// arenas — LP tableaus, bitsets, sample points — are kept; they are the
+// point of pooling.
+func (e *Enumerator) Reset() {
+	clearHS(e.probe)
+	e.probe = e.probe[:0]
+	clearHS(e.cons)
+	e.cons = e.cons[:0]
+	// compl normals are owned by complA, but the Halfspace values still
+	// mirror caller B values only — nothing external; keep them. known maps
+	// sample keys to enumerator-owned sample points; clear to free the key
+	// strings.
+	clear(e.known)
+}
+
+func clearHS(hs []geom.Halfspace) {
+	hs = hs[:cap(hs)]
+	for i := range hs {
+		hs[i] = geom.Halfspace{}
+	}
+}
+
+// reusePoint resizes *p to dr coordinates, reusing its capacity, and zeroes
+// it.
+func reusePoint(p *vecmath.Point, dr int) vecmath.Point {
+	if cap(*p) < dr {
+		*p = make(vecmath.Point, dr)
+	}
+	*p = (*p)[:dr]
+	for i := range *p {
+		(*p)[i] = 0
+	}
+	return *p
+}
+
+// reuseBitset resizes *b to hold n bits, reusing its capacity, and zeroes
+// it.
+func reuseBitset(b *Bitset, n int) Bitset {
+	w := (n + 63) / 64
+	if cap(*b) < w {
+		*b = make(Bitset, w)
+	}
+	*b = (*b)[:w]
+	for i := range *b {
+		(*b)[i] = 0
+	}
+	return *b
+}
+
+// buildFixed assembles the leaf's fixed constraints — the box faces plus
+// the domain simplex boundary Σ q_i <= 1 — into the reusable fixed buffer
+// (axis bounds q_i > 0 are implied by box ⊆ [0,1]^dr).
+func (e *Enumerator) buildFixed(box geom.Rect) {
+	dr := box.Dim()
+	need := 2*dr + 1
+	for len(e.fixedA) < need {
+		e.fixedA = append(e.fixedA, nil)
+	}
+	e.fixed = e.fixed[:0]
+	for i := 0; i < dr; i++ {
+		lo := reusePoint(&e.fixedA[2*i], dr)
+		lo[i] = 1
+		e.fixed = append(e.fixed, geom.Halfspace{A: lo, B: box.Lo[i]})
+		hi := reusePoint(&e.fixedA[2*i+1], dr)
+		hi[i] = -1
+		e.fixed = append(e.fixed, geom.Halfspace{A: hi, B: -box.Hi[i]})
+	}
+	sum := reusePoint(&e.fixedA[2*dr], dr)
+	for i := range sum {
+		sum[i] = -1
+	}
+	e.fixed = append(e.fixed, geom.Halfspace{A: sum, B: -1})
+}
+
+// buildComplements materialises the complement of every partial half-space
+// once, so the candidate loop never re-negates (and never re-allocates)
+// normals.
+func (e *Enumerator) buildComplements(partial []geom.Halfspace) {
+	for len(e.complA) < len(partial) {
+		e.complA = append(e.complA, nil)
+	}
+	e.compl = e.compl[:0]
+	for i, h := range partial {
+		a := reusePoint(&e.complA[i], len(h.A))
+		for j, v := range h.A {
+			a[j] = -v
+		}
+		e.compl = append(e.compl, geom.Halfspace{A: a, B: -h.B})
+	}
+}
+
 // Enumerate finds the non-empty cells of the arrangement of the partial
 // half-spaces within the leaf box (restricted to the domain simplex), in
 // increasing p-order, per Section 5.2 of the paper: bit-strings in
@@ -92,7 +246,10 @@ type Result struct {
 // Beyond the paper, random interior samples certify many combinations
 // non-empty without any LP, and half-spaces that fully cover or fully miss
 // box ∩ simplex are factored out of the combinatorial search up front.
-func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
+//
+// The returned Result owns everything it holds (cells, In sets, witnesses,
+// Forced); nothing aliases the enumerator's recycled scratch.
+func (e *Enumerator) Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 	limit := cfg.CandidateLimit
 	if limit <= 0 {
 		limit = DefaultCandidateLimit
@@ -109,38 +266,43 @@ func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 	}
 	res := Result{MinWeight: -1, CompleteUpTo: -1, MaxPossibleWeight: len(partial)}
 
-	// Fixed constraints: the leaf box and the domain simplex boundary
-	// (axis bounds q_i > 0 are implied by box ⊆ [0,1]^dr).
-	fixed := geom.BoxConstraints(box)
-	fixed = append(fixed, sumConstraint(box.Dim()))
+	e.buildFixed(box)
 
 	// A leaf whose box misses the open simplex has no cells at all.
 	res.LPCalls++
-	anchor, _, ok := geom.FeasibleInterior(fixed)
+	anchor, _, ok := e.feas.FeasibleInterior(e.fixed)
 	if !ok {
 		res.CompleteUpTo = len(partial)
 		return res
 	}
+	// The anchor witness aliases the feasibility checker's buffer, which
+	// the classification probes below overwrite: stabilise it first.
+	if cap(e.anchor) < len(anchor) {
+		e.anchor = make(vecmath.Point, len(anchor))
+	}
+	e.anchor = e.anchor[:len(anchor)]
+	copy(e.anchor, anchor)
+
+	e.buildComplements(partial)
 
 	// Classify each half-space against box ∩ simplex: "forced" ones cover
 	// it entirely (they act like |Fl| members), dead ones miss it entirely.
-	active := make([]int, 0, len(partial)) // original indices still in play
-	probe := make([]geom.Halfspace, 0, len(fixed)+1)
+	e.active = e.active[:0]
 	for i, h := range partial {
-		probe = append(probe[:0], fixed...)
+		e.probe = append(e.probe[:0], e.fixed...)
 		res.LPCalls++
-		if _, _, ok := geom.FeasibleInterior(append(probe, h.Complement())); !ok {
+		if _, _, ok := e.feas.FeasibleInterior(append(e.probe, e.compl[i])); !ok {
 			res.Forced = append(res.Forced, i)
 			continue
 		}
-		probe = append(probe[:0], fixed...)
+		e.probe = append(e.probe[:0], e.fixed...)
 		res.LPCalls++
-		if _, _, ok := geom.FeasibleInterior(append(probe, h)); !ok {
+		if _, _, ok := e.feas.FeasibleInterior(append(e.probe, h)); !ok {
 			continue // dead: no cell in this leaf lies inside h
 		}
-		active = append(active, i)
+		e.active = append(e.active, i)
 	}
-	m := len(active)
+	m := len(e.active)
 	nForced := len(res.Forced)
 	res.MaxPossibleWeight = nForced + m
 
@@ -158,47 +320,52 @@ func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 	// Sample interior points; each sample's bit pattern certifies one cell
 	// non-empty and feeds the pairwise-condition tables.
 	rng := rand.New(rand.NewSource(cfg.Seed + 0x9e3779b9))
-	samples := drawSamples(rng, box, anchor, nSamples)
-	type sampleCell struct {
-		witness vecmath.Point
-		weight  int
+	e.drawSamples(rng, box, nSamples)
+	if e.known == nil {
+		e.known = make(map[string]sampleCell)
+	} else {
+		clear(e.known)
 	}
-	known := make(map[string]sampleCell)
-	patterns := make([]Bitset, 0, len(samples))
-	for _, s := range samples {
-		bits := NewBitset(m)
+	for len(e.patterns) < nSamples {
+		e.patterns = append(e.patterns, nil)
+	}
+	e.patterns = e.patterns[:nSamples]
+	for si := 0; si < nSamples; si++ {
+		s := e.samples[si]
+		bits := reuseBitset(&e.patterns[si], m)
 		w := 0
-		for ai, oi := range active {
+		for ai, oi := range e.active {
 			if partial[oi].Contains(s) {
 				bits.Set(ai)
 				w++
 			}
 		}
-		patterns = append(patterns, bits)
-		key := bits.Key()
-		if _, seen := known[key]; !seen {
-			known[key] = sampleCell{witness: s, weight: w}
+		e.keyBuf = bits.AppendKey(e.keyBuf[:0])
+		if _, seen := e.known[string(e.keyBuf)]; !seen {
+			e.known[string(e.keyBuf)] = sampleCell{witness: s, weight: w}
 		}
 	}
 
 	var cond *binaryConditions
 	if m >= binaryConditionThreshold {
-		cond = buildBinaryConditions(partial, active, patterns, fixed, &res)
+		cond = e.buildBinaryConditions(partial, &res)
 	}
 
-	// mkCell materialises a cell from an active-index bitset.
+	// mkCell materialises a cell from an active-index bitset. The In set
+	// and the witness are freshly allocated: they outlive this call (and
+	// the enumerator's recycled sample/LP buffers) inside Results and the
+	// caller's leaf cache.
 	mkCell := func(bits Bitset, witness vecmath.Point, margin float64) Cell {
 		in := make([]int, 0, nForced+bits.Count())
 		in = append(in, res.Forced...)
-		for ai, oi := range active {
+		for ai, oi := range e.active {
 			if bits.Get(ai) {
 				in = append(in, oi)
 			}
 		}
-		return Cell{In: in, Witness: witness, Margin: margin}
+		return Cell{In: in, Witness: witness.Clone(), Margin: margin}
 	}
 
-	cons := make([]geom.Halfspace, 0, len(fixed)+m)
 	stopW := maxW
 	candidates := 0
 	// Enumerate active-set Hamming weights aw; total weight = nForced + aw.
@@ -209,7 +376,7 @@ func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 		}
 		found := false
 		abort := false
-		forEachSubsetDFS(m, aw, cond, func(sel []int, bits Bitset) bool {
+		e.forEachSubsetDFS(m, aw, cond, func(sel []int, bits Bitset) bool {
 			candidates++
 			if candidates > limit {
 				abort = true
@@ -219,23 +386,23 @@ func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 				res.Pruned++
 				return true
 			}
-			if sc, ok := known[bits.Key()]; ok {
+			e.keyBuf = bits.AppendKey(e.keyBuf[:0])
+			if sc, ok := e.known[string(e.keyBuf)]; ok {
 				res.SampleHits++
 				res.Cells = append(res.Cells, mkCell(bits, sc.witness, 0))
 				found = true
 				return true
 			}
-			cons = cons[:0]
-			cons = append(cons, fixed...)
-			for ai, oi := range active {
+			e.cons = append(e.cons[:0], e.fixed...)
+			for ai, oi := range e.active {
 				if bits.Get(ai) {
-					cons = append(cons, partial[oi])
+					e.cons = append(e.cons, partial[oi])
 				} else {
-					cons = append(cons, partial[oi].Complement())
+					e.cons = append(e.cons, e.compl[oi])
 				}
 			}
 			res.LPCalls++
-			if witness, margin, ok := geom.FeasibleInterior(cons); ok {
+			if witness, margin, ok := e.feas.FeasibleInterior(e.cons); ok {
 				res.Cells = append(res.Cells, mkCell(bits, witness, margin))
 				found = true
 			}
@@ -259,65 +426,65 @@ func Enumerate(box geom.Rect, partial []geom.Halfspace, cfg Config) Result {
 	return res
 }
 
-// drawSamples returns interior points of box ∩ simplex: rejection sampling
-// plus jittered copies of the LP anchor for thin regions.
-func drawSamples(rng *rand.Rand, box geom.Rect, anchor vecmath.Point, n int) []vecmath.Point {
+// drawSamples fills e.samples[:n] with interior points of box ∩ simplex:
+// rejection sampling plus jittered copies of the LP anchor for thin
+// regions. The sample points are enumerator-owned buffers recycled across
+// calls; anything that escapes (a cell witness) is cloned by mkCell.
+func (e *Enumerator) drawSamples(rng *rand.Rand, box geom.Rect, n int) {
 	dr := box.Dim()
-	out := make([]vecmath.Point, 0, n)
-	out = append(out, anchor)
+	for len(e.samples) < n {
+		e.samples = append(e.samples, nil)
+	}
+	e.samples = e.samples[:n]
+	k := 0
+	emit := func(src vecmath.Point) {
+		dst := reusePoint(&e.samples[k], dr)
+		copy(dst, src)
+		k++
+	}
+	emit(e.anchor)
+	tmp := reusePoint(&e.tmp, dr)
 	tries := 0
-	for len(out) < n && tries < 20*n {
+	for k < n && tries < 20*n {
 		tries++
-		p := make(vecmath.Point, dr)
 		var sum float64
-		for i := range p {
-			p[i] = box.Lo[i] + rng.Float64()*(box.Hi[i]-box.Lo[i])
-			sum += p[i]
+		for i := range tmp {
+			tmp[i] = box.Lo[i] + rng.Float64()*(box.Hi[i]-box.Lo[i])
+			sum += tmp[i]
 		}
 		if sum >= 1 {
 			continue
 		}
 		ok := true
-		for _, v := range p {
+		for _, v := range tmp {
 			if v <= 0 {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, p)
+			emit(tmp)
 		}
 	}
 	// Jitter around the anchor to diversify thin-region coverage.
-	for len(out) < n {
-		p := make(vecmath.Point, dr)
+	for k < n {
 		var sum float64
 		ok := true
-		for i := range p {
+		for i := 0; i < dr; i++ {
 			span := box.Hi[i] - box.Lo[i]
-			p[i] = anchor[i] + (rng.Float64()-0.5)*0.25*span
-			if p[i] <= box.Lo[i] || p[i] >= box.Hi[i] || p[i] <= 0 {
+			tmp[i] = e.anchor[i] + (rng.Float64()-0.5)*0.25*span
+			if tmp[i] <= box.Lo[i] || tmp[i] >= box.Hi[i] || tmp[i] <= 0 {
 				ok = false
 				break
 			}
-			sum += p[i]
+			sum += tmp[i]
 		}
 		if ok && sum < 1 {
-			out = append(out, p)
+			emit(tmp)
 		} else {
-			out = append(out, anchor)
+			emit(e.anchor)
 		}
 	}
-	return out
-}
-
-// sumConstraint returns Σ q_i <= 1 as a closed half-space.
-func sumConstraint(dr int) geom.Halfspace {
-	a := make(vecmath.Point, dr)
-	for i := range a {
-		a[i] = -1
-	}
-	return geom.Halfspace{A: a, B: -1}
 }
 
 // binaryConditions holds, for every ordered pair of active half-spaces,
@@ -329,46 +496,49 @@ type binaryConditions struct {
 	conflict00 []Bitset // j set in conflict00[i]: i=0,j=0 impossible
 }
 
+// reuseBitsetTable resizes a table to m bitsets of n bits each, recycling
+// rows.
+func reuseBitsetTable(tbl *[]Bitset, m, n int) []Bitset {
+	for len(*tbl) < m {
+		*tbl = append(*tbl, nil)
+	}
+	*tbl = (*tbl)[:m]
+	for i := range *tbl {
+		reuseBitset(&(*tbl)[i], n)
+	}
+	return *tbl
+}
+
 // buildBinaryConditions derives the tables, using sample patterns to avoid
 // LPs for combinations already certified non-empty.
-func buildBinaryConditions(partial []geom.Halfspace, active []int, patterns []Bitset, fixed []geom.Halfspace, res *Result) *binaryConditions {
-	m := len(active)
-	bc := &binaryConditions{
-		conflict11: make([]Bitset, m),
-		requires1:  make([]Bitset, m),
-		conflict00: make([]Bitset, m),
-	}
-	for i := 0; i < m; i++ {
-		bc.conflict11[i] = NewBitset(m)
-		bc.requires1[i] = NewBitset(m)
-		bc.conflict00[i] = NewBitset(m)
-	}
+func (e *Enumerator) buildBinaryConditions(partial []geom.Halfspace, res *Result) *binaryConditions {
+	m := len(e.active)
+	bc := &e.cond
+	bc.conflict11 = reuseBitsetTable(&bc.conflict11, m, m)
+	bc.requires1 = reuseBitsetTable(&bc.requires1, m, m)
+	bc.conflict00 = reuseBitsetTable(&bc.conflict00, m, m)
 	// memberOf[i] holds, as a bitset over samples, which samples fall inside
 	// half-space i; pairwise combo coverage then reduces to word-level
 	// intersections instead of per-pair bit probes.
-	nS := len(patterns)
-	memberOf := make([]Bitset, m)
-	for i := 0; i < m; i++ {
-		memberOf[i] = NewBitset(nS)
-	}
-	for s, bits := range patterns {
+	nS := len(e.patterns)
+	memberOf := reuseBitsetTable(&e.memberOf, m, nS)
+	for s, bits := range e.patterns {
 		for i := 0; i < m; i++ {
 			if bits.Get(i) {
 				memberOf[i].Set(s)
 			}
 		}
 	}
-	notMemberOf := make([]Bitset, m)
+	notMemberOf := reuseBitsetTable(&e.notMemberOf, m, nS)
 	for i := 0; i < m; i++ {
-		nm := memberOf[i].Clone()
+		nm := notMemberOf[i]
 		for w := range nm {
-			nm[w] = ^nm[w]
+			nm[w] = ^memberOf[i][w]
 		}
 		// Mask the tail beyond nS bits.
 		if rem := nS % 64; rem != 0 && len(nm) > 0 {
 			nm[len(nm)-1] &= (1 << uint(rem)) - 1
 		}
-		notMemberOf[i] = nm
 	}
 	seen := func(i, j int, combo int) bool {
 		var a, b Bitset
@@ -384,30 +554,30 @@ func buildBinaryConditions(partial []geom.Halfspace, active []int, patterns []Bi
 		}
 		return a.IntersectsAny(b)
 	}
-	probe := make([]geom.Halfspace, 0, len(fixed)+2)
 	test := func(a, b geom.Halfspace) bool {
-		probe = probe[:0]
-		probe = append(probe, fixed...)
-		probe = append(probe, a, b)
+		e.probe = append(e.probe[:0], e.fixed...)
+		e.probe = append(e.probe, a, b)
 		res.LPCalls++
-		_, _, ok := geom.FeasibleInterior(probe)
+		_, _, ok := e.feas.FeasibleInterior(e.probe)
 		return ok
 	}
 	for i := 0; i < m; i++ {
-		hi := partial[active[i]]
+		oi := e.active[i]
+		hi, ci := partial[oi], e.compl[oi]
 		for j := i + 1; j < m; j++ {
-			hj := partial[active[j]]
+			oj := e.active[j]
+			hj, cj := partial[oj], e.compl[oj]
 			if !seen(i, j, 3) && !test(hi, hj) { // 1,1
 				bc.conflict11[i].Set(j)
 				bc.conflict11[j].Set(i)
 			}
-			if !seen(i, j, 2) && !test(hi, hj.Complement()) { // 1,0
+			if !seen(i, j, 2) && !test(hi, cj) { // 1,0
 				bc.requires1[i].Set(j)
 			}
-			if !seen(i, j, 1) && !test(hi.Complement(), hj) { // 0,1
+			if !seen(i, j, 1) && !test(ci, hj) { // 0,1
 				bc.requires1[j].Set(i)
 			}
-			if !seen(i, j, 0) && !test(hi.Complement(), hj.Complement()) { // 0,0
+			if !seen(i, j, 0) && !test(ci, cj) { // 0,0
 				bc.conflict00[i].Set(j)
 				bc.conflict00[j].Set(i)
 			}
@@ -433,9 +603,10 @@ func (bc *binaryConditions) completeOK(bits Bitset, m int) bool {
 
 // forEachSubsetDFS enumerates size-w subsets of {0..m-1} in lexicographic
 // order, pruning branches whose chosen bits already violate a 1,1 conflict.
-// fn returning false aborts.
-func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits Bitset) bool) {
-	bits := NewBitset(m)
+// fn returning false aborts. All DFS state lives in recycled enumerator
+// scratch.
+func (e *Enumerator) forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits Bitset) bool) {
+	bits := reuseBitset(&e.bits, m)
 	if w == 0 {
 		fn(nil, bits)
 		return
@@ -443,17 +614,14 @@ func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits 
 	if w > m {
 		return
 	}
-	sel := make([]int, 0, w)
+	if cap(e.sel) < w {
+		e.sel = make([]int, 0, w)
+	}
+	sel := e.sel[:0]
 	var forbidden Bitset
 	if cond != nil {
-		forbidden = NewBitset(m)
-	}
-	var scratch []Bitset // per-depth saved forbidden masks
-	if cond != nil {
-		scratch = make([]Bitset, w)
-		for i := range scratch {
-			scratch[i] = NewBitset(m)
-		}
+		forbidden = reuseBitset(&e.forbidden, m)
+		e.scratch = reuseBitsetTable(&e.scratch, w, m)
 	}
 	ok := true
 	var dfs func(start int)
@@ -474,12 +642,12 @@ func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits 
 			bits.Set(i)
 			if cond != nil {
 				depth := len(sel) - 1
-				copy(scratch[depth], forbidden)
+				copy(e.scratch[depth], forbidden)
 				for k := range forbidden {
 					forbidden[k] |= cond.conflict11[i][k]
 				}
 				dfs(i + 1)
-				copy(forbidden, scratch[depth])
+				copy(forbidden, e.scratch[depth])
 			} else {
 				dfs(i + 1)
 			}
@@ -488,6 +656,13 @@ func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits 
 		}
 	}
 	dfs(0)
+}
+
+// forEachSubsetDFS is kept as a free function for tests and one-off
+// callers.
+func forEachSubsetDFS(m, w int, cond *binaryConditions, fn func(sel []int, bits Bitset) bool) {
+	var e Enumerator
+	e.forEachSubsetDFS(m, w, cond, fn)
 }
 
 // tooManyCombinations reports whether C(m, w) exceeds the limit.

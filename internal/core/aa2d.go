@@ -33,6 +33,10 @@ type boundary struct {
 	lefts  []*halfline
 }
 
+// aa2dParallelWork is the minimum cells × half-lines product at which
+// fanning the expansion scan out across workers beats doing it inline.
+const aa2dParallelWork = 1 << 12
+
 // AA2D is the specialised advanced approach for d = 2 (paper Section 6.3):
 // the mixed arrangement is a set of half-lines kept in a sorted container (a
 // red-black tree), cells are the intervals between consecutive boundary
@@ -166,7 +170,7 @@ func aa2dRun(in Input) (*Result, error) {
 			bound = oStar
 		}
 		expand := make(map[int64]bool)
-		var accurate []interval
+		var accurate, inaccurate []interval
 		for _, c := range cells {
 			if c.order > bound+in.Tau {
 				continue
@@ -178,12 +182,38 @@ func aa2dRun(in Input) (*Result, error) {
 				accurate = append(accurate, c)
 				continue
 			}
-			// Gather the augmented half-lines containing this inaccurate
-			// cell; every one of them gets expanded, so the scan cost is
-			// amortised by the expansion work itself.
-			for _, hl := range all {
-				if hl.augmented && hl.contains(c.lo, c.hi) {
-					expand[hl.recordID] = true
+			inaccurate = append(inaccurate, c)
+		}
+		// Gather the augmented half-lines containing each inaccurate cell;
+		// every one of them gets expanded, so the scan cost is amortised by
+		// the expansion work itself. This cells × half-lines scan is the
+		// d = 2 cell-processing core: with Workers > 1 it fans out over
+		// cell chunks (each worker collects into a private list; the merge
+		// into the expand set is order-free, so the result is identical).
+		if w := in.Workers; w > 1 && len(inaccurate)*len(all) >= aa2dParallelWork {
+			parts := make([][]int64, w)
+			parallelChunks(w, len(inaccurate), func(part, lo, hi int) {
+				var ids []int64
+				for _, c := range inaccurate[lo:hi] {
+					for _, hl := range all {
+						if hl.augmented && hl.contains(c.lo, c.hi) {
+							ids = append(ids, hl.recordID)
+						}
+					}
+				}
+				parts[part] = ids
+			})
+			for _, ids := range parts {
+				for _, id := range ids {
+					expand[id] = true
+				}
+			}
+		} else {
+			for _, c := range inaccurate {
+				for _, hl := range all {
+					if hl.augmented && hl.contains(c.lo, c.hi) {
+						expand[hl.recordID] = true
+					}
 				}
 			}
 		}

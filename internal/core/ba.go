@@ -68,11 +68,17 @@ func baRun(in Input) (*Result, error) {
 }
 
 // foundCell is a non-empty arrangement cell discovered during the leaf
-// loop, annotated with its leaf and total order.
+// loop, annotated with its leaf and total order. pos and seq form the
+// cell's deterministic key — the leaf's index in the ascending-|Fl| claim
+// order and the cell's sequence within the leaf's enumeration — which the
+// parallel path sorts by so that merged worker output is bit-identical to
+// the sequential scan.
 type foundCell struct {
 	leaf  quadtree.Leaf
 	cell  cellenum.Cell
 	order int // |Fl| + p-order
+	pos   int // leaf index in the ascending-|Fl| order
+	seq   int // cell index within the leaf's enumeration
 }
 
 // containingRefs returns the indices (into the quad-tree's half-space
@@ -124,7 +130,9 @@ func (e *leafCacheEntry) validFor(maxW, tau int) bool {
 // by the best order found so far plus τ. A non-negative orderCap
 // additionally bounds collection (AA passes its current accurate optimum
 // o*), and AA sets useCache so unchanged leaves are not re-enumerated
-// across its iterations.
+// across its iterations. When Input.Workers > 1 the loop fans out across
+// a worker set claiming leaves in the same priority order (see
+// collectCellsParallel); the answer is bit-identical either way.
 //
 // The returned cell list aliases st.cells; callers must finish with it
 // before the state is released. The context is polled once per leaf.
@@ -133,18 +141,72 @@ func (e *leafCacheEntry) validFor(maxW, tau int) bool {
 // which only happens when the whole arrangement lies outside the domain)
 // and all cells with order <= min(best, orderCap) + τ.
 func collectCells(ctx context.Context, qt *quadtree.Tree, in *Input, stats *Stats, orderCap int, st *execState, useCache bool) (int, []foundCell, error) {
-	leaves := qt.Leaves()
-	// Counting sort by |Fl|: counts are bounded by the number of inserted
-	// half-spaces and leaf lists can be large in refined arrangements.
+	if in.Workers > 1 {
+		return collectCellsParallel(ctx, qt, in, stats, orderCap, st, useCache, in.Workers)
+	}
+	st.leaves = qt.AppendLeaves(st.leaves[:0])
+	order := st.sortLeavesByFullCount(st.leaves)
+	total := len(order)
+
+	best := -1 // min cell order found; -1 = nothing yet
+	bound := func() int {
+		b := orderCap
+		if best >= 0 && (b < 0 || best < b) {
+			b = best
+		}
+		return b
+	}
+	cells := st.cells[:0]
+	for i, leaf := range order {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		if b := bound(); b >= 0 && leaf.FullCount() > b+in.Tau {
+			// The scan order ascends by |Fl|: this leaf and every later
+			// one are prunable.
+			stats.LeavesPruned += total - i
+			break
+		}
+		maxW := -1
+		if b := bound(); b >= 0 {
+			maxW = b + in.Tau - leaf.FullCount()
+		}
+		out, hit := st.cacheLookup(leaf, maxW, in.Tau, useCache, false)
+		if !hit {
+			out = enumerateLeaf(qt, in, leaf, maxW, &st.enum, &st.partial)
+			stats.LeavesProcessed++
+			stats.LPCalls += int64(out.LPCalls)
+			st.cacheStore(leaf, out, useCache, false)
+		}
+		for _, cell := range out.Cells {
+			order := leaf.FullCount() + cell.POrder()
+			if b := bound(); b >= 0 && order > b+in.Tau {
+				continue
+			}
+			if best < 0 || order < best {
+				best = order
+			}
+			cells = append(cells, foundCell{leaf: leaf, cell: cell, order: order})
+		}
+	}
+	// Trim to the final bound (cells collected early may exceed it).
+	st.cells = trimCells(cells, bound(), in.Tau)
+	return best, st.cells, nil
+}
+
+// sortLeavesByFullCount stable-sorts the leaves into ascending-|Fl| claim
+// order via a counting sort over the pooled bucket headers (overwriting
+// them with append would discard the inner slices' capacity — the point
+// of pooling them). Both the sequential scan and the parallel claim queue
+// use exactly this order; keeping it in one place is what keeps them
+// bit-identical.
+func (st *execState) sortLeavesByFullCount(leaves []quadtree.Leaf) []quadtree.Leaf {
 	maxFC := 0
 	for _, l := range leaves {
 		if fc := l.FullCount(); fc > maxFC {
 			maxFC = fc
 		}
 	}
-	// Reuse the pooled bucket headers up to their capacity (overwriting
-	// them with append would discard the inner slices' capacity — the
-	// point of pooling them) and extend only past it.
 	buckets := st.buckets[:cap(st.buckets)]
 	for len(buckets) < maxFC+1 {
 		buckets = append(buckets, nil)
@@ -157,82 +219,72 @@ func collectCells(ctx context.Context, qt *quadtree.Tree, in *Input, stats *Stat
 	for _, l := range leaves {
 		buckets[l.FullCount()] = append(buckets[l.FullCount()], l)
 	}
+	order := st.order[:0]
+	for _, b := range buckets {
+		order = append(order, b...)
+	}
+	st.order = order
+	return order
+}
 
-	best := -1 // min cell order found; -1 = nothing yet
-	bound := func() int {
-		b := orderCap
-		if best >= 0 && (b < 0 || best < b) {
-			b = best
-		}
-		return b
+// enumerateLeaf runs the within-leaf module on one leaf: it assembles the
+// partial half-space set into the caller's recycled buffer and enumerates
+// with the canonical configuration — including the (node ID, version)
+// seed that makes every leaf's output deterministic regardless of which
+// worker processes it.
+func enumerateLeaf(qt *quadtree.Tree, in *Input, leaf quadtree.Leaf, maxW int, enum *cellenum.Enumerator, partial *[]geom.Halfspace) cellenum.Result {
+	p := (*partial)[:0]
+	for _, hsIdx := range leaf.Partial() {
+		p = append(p, qt.Ref(hsIdx).H)
 	}
-	cells := st.cells[:0]
-	remaining := len(leaves)
-scan:
-	for fc := 0; fc <= maxFC; fc++ {
-		for _, leaf := range buckets[fc] {
-			if err := ctx.Err(); err != nil {
-				return 0, nil, err
-			}
-			if b := bound(); b >= 0 && leaf.FullCount() > b+in.Tau {
-				stats.LeavesPruned += remaining
-				break scan
-			}
-			maxW := -1
-			if b := bound(); b >= 0 {
-				maxW = b + in.Tau - leaf.FullCount()
-			}
-			var out cellenum.Result
-			hit := false
-			if useCache {
-				if ent, ok := st.cache[leaf.NodeID()]; ok && ent.version == leaf.Version() && ent.validFor(maxW, in.Tau) {
-					out = ent.out
-					hit = true
-				}
-			}
-			if !hit {
-				leafPartial := leaf.Partial()
-				partial := make([]geom.Halfspace, len(leafPartial))
-				for i, hsIdx := range leafPartial {
-					partial[i] = qt.Ref(hsIdx).H
-				}
-				out = cellenum.Enumerate(leaf.Box(), partial, cellenum.Config{
-					MaxWeight: maxW,
-					Extra:     in.Tau,
-					Seed:      int64(leaf.NodeID())<<16 + int64(leaf.Version()),
-				})
-				stats.LeavesProcessed++
-				stats.LPCalls += int64(out.LPCalls)
-				if useCache && !out.Truncated {
-					st.cache[leaf.NodeID()] = leafCacheEntry{version: leaf.Version(), out: out}
-				}
-			}
-			for _, cell := range out.Cells {
-				order := leaf.FullCount() + cell.POrder()
-				if b := bound(); b >= 0 && order > b+in.Tau {
-					continue
-				}
-				if best < 0 || order < best {
-					best = order
-				}
-				cells = append(cells, foundCell{leaf: leaf, cell: cell, order: order})
-			}
-			remaining--
+	*partial = p
+	return enum.Enumerate(leaf.Box(), p, cellenum.Config{
+		MaxWeight: maxW,
+		Extra:     in.Tau,
+		Seed:      int64(leaf.NodeID())<<16 + int64(leaf.Version()),
+	})
+}
+
+// cacheLookup probes the AA leaf cache for an enumeration that answers
+// (maxW, tau); locked guards the map for concurrent workers.
+func (st *execState) cacheLookup(leaf quadtree.Leaf, maxW, tau int, useCache, locked bool) (cellenum.Result, bool) {
+	if !useCache {
+		return cellenum.Result{}, false
+	}
+	if locked {
+		st.cacheMu.Lock()
+		defer st.cacheMu.Unlock()
+	}
+	if ent, ok := st.cache[leaf.NodeID()]; ok && ent.version == leaf.Version() && ent.validFor(maxW, tau) {
+		return ent.out, true
+	}
+	return cellenum.Result{}, false
+}
+
+// cacheStore records a completed (non-truncated) enumeration.
+func (st *execState) cacheStore(leaf quadtree.Leaf, out cellenum.Result, useCache, locked bool) {
+	if !useCache || out.Truncated {
+		return
+	}
+	if locked {
+		st.cacheMu.Lock()
+		defer st.cacheMu.Unlock()
+	}
+	st.cache[leaf.NodeID()] = leafCacheEntry{version: leaf.Version(), out: out}
+}
+
+// trimCells keeps only the cells within the final bound + τ, in place.
+func trimCells(cells []foundCell, bound, tau int) []foundCell {
+	if bound < 0 {
+		return cells
+	}
+	kept := cells[:0]
+	for _, fc := range cells {
+		if fc.order <= bound+tau {
+			kept = append(kept, fc)
 		}
 	}
-	// Trim to the final bound (cells collected early may exceed it).
-	b := bound()
-	if b >= 0 {
-		kept := cells[:0]
-		for _, fc := range cells {
-			if fc.order <= b+in.Tau {
-				kept = append(kept, fc)
-			}
-		}
-		cells = kept
-	}
-	st.cells = cells
-	return best, cells, nil
+	return kept
 }
 
 // makeRegion materialises a Region from a within-leaf cell. The Region owns

@@ -44,6 +44,17 @@ type Input struct {
 	// CollectRecordIDs materialises, for each result region, the IDs of the
 	// incomparable records that outrank p there (the paper's R_c set).
 	CollectRecordIDs bool
+	// Workers bounds the intra-query parallelism of the cell-processing
+	// core: BA's leaf loop, each AA iteration and AA2D's expansion scan
+	// fan out across up to Workers goroutines claiming leaves (in the
+	// same ascending-|Fl| priority order as the sequential code) from a
+	// shared queue. Values <= 1 keep the fully sequential path. The
+	// answer — regions, ranks, witnesses, Stats.IO — is bit-identical at
+	// every setting; only the work counters (LPCalls, LeavesProcessed,
+	// LeavesPruned) become scheduling-dependent, because parallel workers
+	// may enumerate a leaf before a better interim bound would have
+	// pruned or capped it.
+	Workers int
 	// Ctx carries cancellation and deadline for the query; nil means
 	// context.Background(). The algorithm loops poll it between tree node
 	// accesses, quad-tree leaves and expansion rounds.
@@ -122,7 +133,12 @@ type Stats struct {
 	IncomparableAccessed int64
 	// HalfspacesInserted counts half-spaces threaded into the arrangement.
 	HalfspacesInserted int
-	// LPCalls counts half-space-intersection feasibility tests.
+	// LPCalls counts half-space-intersection feasibility tests. Under
+	// intra-query parallelism (Input.Workers > 1) this and the leaf
+	// counters below depend on goroutine scheduling: a worker may
+	// enumerate a leaf under a stale (wider) interim bound that the
+	// sequential code would already have tightened. The answer itself
+	// stays bit-identical.
 	LPCalls int64
 	// LeavesProcessed / LeavesPruned count within-leaf invocations vs leaves
 	// skipped by the |Fl| bound.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cellenum"
+	"repro/internal/geom"
 	"repro/internal/quadtree"
 )
 
@@ -92,13 +94,52 @@ func (bruteStrategy) Run(in Input) (*Result, error) { return bruteRun(in) }
 
 // execState carries the scratch buffers of one in-flight query. States are
 // recycled through a sync.Pool so a hot engine does not re-allocate the
-// leaf-loop buckets, cell lists and the AA leaf cache on every query.
-// Nothing in an execState escapes into a Result: makeRegion copies what it
-// keeps, so releasing the state after the query is safe.
+// leaf-loop buckets, cell lists, within-leaf enumerator arenas and the AA
+// leaf cache on every query. Nothing in an execState escapes into a
+// Result: makeRegion copies what it keeps, so releasing the state after
+// the query is safe.
+//
+// Under intra-query parallelism every worker goroutine operates on its own
+// execShard (its own enumerator, LP tableaus, partial-set buffer, cell
+// list and stats), so the only cross-worker state is the claim indexes,
+// the shared interim bound and the mutex-guarded AA leaf cache.
 type execState struct {
 	cells   []foundCell
 	buckets [][]quadtree.Leaf
+	leaves  []quadtree.Leaf // leaf gather buffer (sequential + parallel)
+	order   []quadtree.Leaf // ascending-|Fl| claim order (parallel)
 	cache   leafCache
+	cacheMu sync.Mutex // guards cache when workers share it
+	enum    cellenum.Enumerator
+	partial []geom.Halfspace
+	shards  []*execShard
+}
+
+// execShard is the per-worker slice of an execState.
+type execShard struct {
+	enum    cellenum.Enumerator
+	partial []geom.Halfspace
+	cells   []foundCell
+	leaves  []quadtree.Leaf
+	segs    []leafSeg
+	stats   Stats
+	visited int
+}
+
+// leafSeg records which slice of a shard's gathered leaves came from which
+// claimed subtree, so the deterministic merge can reassemble global DFS
+// order.
+type leafSeg struct {
+	sub        int
+	start, end int
+}
+
+// ensureShards sizes the state's shard set for n workers.
+func (st *execState) ensureShards(n int) []*execShard {
+	for len(st.shards) < n {
+		st.shards = append(st.shards, &execShard{})
+	}
+	return st.shards[:n]
 }
 
 var statePool = sync.Pool{
@@ -116,10 +157,14 @@ func releaseState(st *execState) {
 	// len (left over from larger earlier queries) would otherwise pin that
 	// query's quad-tree and enumeration output for the pool's lifetime.
 	// The bucket slice headers are kept (their capacity is the point of
-	// pooling them); only their Leaf elements are cleared.
-	cells := st.cells[:cap(st.cells)]
-	clear(cells)
-	st.cells = cells[:0]
+	// pooling them); only their Leaf elements are cleared. The enumerator
+	// Resets drop the references their constraint scratch holds into the
+	// query's half-spaces while keeping the numeric arenas.
+	st.cells = clearTail(st.cells)
+	st.leaves = clearTail(st.leaves)
+	st.order = clearTail(st.order)
+	st.partial = clearTail(st.partial)
+	st.enum.Reset()
 	buckets := st.buckets[:cap(st.buckets)]
 	for i := range buckets {
 		b := buckets[i][:cap(buckets[i])]
@@ -127,5 +172,22 @@ func releaseState(st *execState) {
 		buckets[i] = b[:0]
 	}
 	st.buckets = buckets[:0]
+	for _, sh := range st.shards {
+		sh.cells = clearTail(sh.cells)
+		sh.leaves = clearTail(sh.leaves)
+		sh.partial = clearTail(sh.partial)
+		sh.segs = sh.segs[:0]
+		sh.stats = Stats{}
+		sh.visited = 0
+		sh.enum.Reset()
+	}
 	statePool.Put(st)
+}
+
+// clearTail zeroes a slice through its full capacity (so nothing from the
+// finished query stays pinned) and returns it with length 0.
+func clearTail[T any](s []T) []T {
+	full := s[:cap(s)]
+	clear(full)
+	return full[:0]
 }

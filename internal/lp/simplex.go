@@ -99,135 +99,12 @@ type tableau struct {
 	unbounded bool // set by iterate when no blocking row exists
 }
 
-// Solve runs the two-phase simplex on p.
+// Solve runs the two-phase simplex on p. Each call uses a throwaway
+// Solver, so the returned Solution.X is freshly allocated; hot loops should
+// hold a reusable Solver instead.
 func Solve(p Problem) (Solution, error) {
-	if err := p.Validate(); err != nil {
-		return Solution{}, err
-	}
-	n, m := len(p.C), len(p.A)
-
-	// Normalise rows to non-negative RHS; rows that had negative RHS get a
-	// -1 slack and therefore need an artificial variable.
-	needsArt := make([]bool, m)
-	nArt := 0
-	for i := range p.A {
-		if p.B[i] < 0 {
-			needsArt[i] = true
-			nArt++
-		}
-	}
-	cols := n + m + nArt
-	t := &tableau{
-		rows:  make([][]float64, m),
-		obj:   make([]float64, cols+1),
-		basis: make([]int, m),
-		n:     n,
-		m:     m,
-		cols:  cols,
-		artLo: n + m,
-	}
-	art := t.artLo
-	for i := 0; i < m; i++ {
-		row := make([]float64, cols+1)
-		sign := 1.0
-		if needsArt[i] {
-			sign = -1.0
-		}
-		for j, v := range p.A[i] {
-			row[j] = sign * v
-		}
-		row[n+i] = sign // slack
-		row[cols] = sign * p.B[i]
-		if needsArt[i] {
-			row[art] = 1
-			t.basis[i] = art
-			art++
-		} else {
-			t.basis[i] = n + i
-		}
-		t.rows[i] = row
-	}
-
-	if nArt > 0 {
-		// Phase 1: maximize z1 = −Σ artificials (c = −1 on artificial
-		// columns). The objective row starts as −c and is then made
-		// consistent with the initial basis by eliminating the coefficient
-		// of every artificial-basic column; afterwards obj[cols] tracks z1.
-		for j := t.artLo; j < cols; j++ {
-			t.obj[j] = 1
-		}
-		for i := 0; i < m; i++ {
-			if t.basis[i] < t.artLo {
-				continue
-			}
-			row := t.rows[i]
-			for j := 0; j <= cols; j++ {
-				t.obj[j] -= row[j]
-			}
-		}
-		if err := t.iterate(true); err != nil {
-			return Solution{}, err
-		}
-		if t.obj[cols] < -pivotTol*float64(m+1) {
-			return Solution{Status: Infeasible}, nil
-		}
-		// Drive any lingering artificial variables out of the basis.
-		for i := 0; i < m; i++ {
-			if t.basis[i] < t.artLo {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < t.artLo; j++ {
-				if math.Abs(t.rows[i][j]) > pivotTol {
-					t.pivot(i, j)
-					pivoted = true
-					break
-				}
-			}
-			if !pivoted {
-				// Row is all zeros over structural columns: redundant
-				// constraint; leave the artificial basic at value ~0. It can
-				// never re-enter because phase 2 excludes artificial columns.
-				t.rows[i][cols] = 0
-			}
-		}
-	}
-
-	// Phase 2: real objective. Build reduced-cost row for maximize C·x.
-	for j := 0; j <= cols; j++ {
-		t.obj[j] = 0
-	}
-	for j := 0; j < n; j++ {
-		t.obj[j] = -p.C[j]
-	}
-	// Make the objective row consistent with the current basis.
-	for i := 0; i < m; i++ {
-		b := t.basis[i]
-		if b < n && math.Abs(t.obj[b]) > 0 {
-			coef := t.obj[b]
-			for j := 0; j <= cols; j++ {
-				t.obj[j] -= coef * t.rows[i][j]
-			}
-		}
-	}
-	if err := t.iterate(false); err != nil {
-		return Solution{}, err
-	}
-	if t.unbounded {
-		return Solution{Status: Unbounded}, nil
-	}
-
-	x := make([]float64, n)
-	for i := 0; i < m; i++ {
-		if b := t.basis[i]; b < n {
-			x[b] = t.rows[i][t.cols]
-		}
-	}
-	var val float64
-	for j := 0; j < n; j++ {
-		val += p.C[j] * x[j]
-	}
-	return Solution{Status: Optimal, X: x, Value: val}, nil
+	var s Solver
+	return s.Solve(p)
 }
 
 // unbounded is set by iterate when an entering column has no blocking row.

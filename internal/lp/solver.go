@@ -1,0 +1,208 @@
+package lp
+
+// Solver is a reusable simplex solver. It owns the tableau storage (rows,
+// objective, basis bookkeeping and the primal point) and recycles all of it
+// across Solve calls, so a hot loop of small LPs — the per-cell feasibility
+// tests of the MaxRank algorithms — performs no steady-state allocations.
+// The zero value is ready to use.
+//
+// A Solver is not safe for concurrent use; give each worker its own. The
+// package-level Solve remains the allocation-per-call convenience wrapper.
+type Solver struct {
+	flat     []float64   // backing storage for all tableau rows
+	rows     [][]float64 // m row views into flat
+	obj      []float64
+	basis    []int
+	needsArt []bool
+	x        []float64
+	t        tableau
+}
+
+// Solve runs the two-phase simplex on p, reusing the receiver's buffers.
+//
+// The returned Solution.X aliases solver-owned storage and is only valid
+// until the next Solve call on this receiver: callers that keep the point
+// must copy it, callers that merely inspect it save the allocation.
+func (s *Solver) Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n, m := len(p.C), len(p.A)
+
+	// Normalise rows to non-negative RHS; rows that had negative RHS get a
+	// -1 slack and therefore need an artificial variable.
+	s.needsArt = growBool(s.needsArt, m)
+	nArt := 0
+	for i := range p.A {
+		if p.B[i] < 0 {
+			s.needsArt[i] = true
+			nArt++
+		} else {
+			s.needsArt[i] = false
+		}
+	}
+	cols := n + m + nArt
+	stride := cols + 1
+	s.flat = growFloat(s.flat, m*stride)
+	s.rows = growRows(s.rows, m)
+	s.obj = growFloat(s.obj, stride)
+	s.basis = growInt(s.basis, m)
+	t := &s.t
+	*t = tableau{
+		rows:  s.rows,
+		obj:   s.obj,
+		basis: s.basis,
+		n:     n,
+		m:     m,
+		cols:  cols,
+		artLo: n + m,
+	}
+	art := t.artLo
+	for i := 0; i < m; i++ {
+		row := s.flat[i*stride : (i+1)*stride]
+		clearFloat(row)
+		sign := 1.0
+		if s.needsArt[i] {
+			sign = -1.0
+		}
+		for j, v := range p.A[i] {
+			row[j] = sign * v
+		}
+		row[n+i] = sign // slack
+		row[cols] = sign * p.B[i]
+		if s.needsArt[i] {
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+
+	if nArt > 0 {
+		// Phase 1: maximize z1 = −Σ artificials (c = −1 on artificial
+		// columns). The objective row starts as −c and is then made
+		// consistent with the initial basis by eliminating the coefficient
+		// of every artificial-basic column; afterwards obj[cols] tracks z1.
+		clearFloat(t.obj[:stride])
+		for j := t.artLo; j < cols; j++ {
+			t.obj[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artLo {
+				continue
+			}
+			row := t.rows[i]
+			for j := 0; j <= cols; j++ {
+				t.obj[j] -= row[j]
+			}
+		}
+		if err := t.iterate(true); err != nil {
+			return Solution{}, err
+		}
+		if t.obj[cols] < -pivotTol*float64(m+1) {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Drive any lingering artificial variables out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < t.artLo {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artLo; j++ {
+				if abs(t.rows[i][j]) > pivotTol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over structural columns: redundant
+				// constraint; leave the artificial basic at value ~0. It can
+				// never re-enter because phase 2 excludes artificial columns.
+				t.rows[i][cols] = 0
+			}
+		}
+	}
+
+	// Phase 2: real objective. Build reduced-cost row for maximize C·x.
+	clearFloat(t.obj[:stride])
+	for j := 0; j < n; j++ {
+		t.obj[j] = -p.C[j]
+	}
+	// Make the objective row consistent with the current basis.
+	for i := 0; i < m; i++ {
+		b := t.basis[i]
+		if b < n && abs(t.obj[b]) > 0 {
+			coef := t.obj[b]
+			for j := 0; j <= cols; j++ {
+				t.obj[j] -= coef * t.rows[i][j]
+			}
+		}
+	}
+	if err := t.iterate(false); err != nil {
+		return Solution{}, err
+	}
+	if t.unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	s.x = growFloat(s.x, n)
+	clearFloat(s.x)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < n {
+			s.x[b] = t.rows[i][t.cols]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += p.C[j] * s.x[j]
+	}
+	return Solution{Status: Optimal, X: s.x, Value: val}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clearFloat(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// The grow helpers reslice within capacity and only allocate when the
+// requested size exceeds anything the buffer has held before — the steady
+// state of a solver recycled across same-shaped LPs is allocation-free.
+
+func growFloat(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func growRows(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}

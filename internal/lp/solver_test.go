@@ -1,0 +1,120 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomFeasibilityProblem builds an LP shaped like the MaxRank cell
+// feasibility tests: maximize the margin variable subject to normalised
+// half-space rows over a handful of reduced-space coordinates.
+func randomFeasibilityProblem(rng *rand.Rand, dr, rows int) Problem {
+	nv := dr + 1
+	p := Problem{
+		C: make([]float64, nv),
+		A: make([][]float64, 0, rows),
+		B: make([]float64, 0, rows),
+	}
+	p.C[dr] = 1
+	for i := 0; i < rows; i++ {
+		row := make([]float64, nv)
+		for j := 0; j < dr; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		row[dr] = 1
+		p.A = append(p.A, row)
+		p.B = append(p.B, rng.Float64()-0.2)
+	}
+	return p
+}
+
+// TestSolverMatchesSolve recycles one Solver across many LPs of varying
+// shape and checks every answer against the fresh-allocation Solve path.
+func TestSolverMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Solver
+	for trial := 0; trial < 300; trial++ {
+		dr := 1 + rng.Intn(5)
+		rows := 1 + rng.Intn(12)
+		p := randomFeasibilityProblem(rng, dr, rows)
+
+		got, err := s.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: solver: %v", trial, err)
+		}
+		want, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v != %v", trial, got.Status, want.Status)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if got.Value != want.Value {
+			t.Fatalf("trial %d: value %g != %g", trial, got.Value, want.Value)
+		}
+		for j := range want.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("trial %d: x[%d] = %g != %g", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestSolverSteadyStateAllocFree asserts the pooled-solver contract: after
+// the first warm-up call, re-solving same-shaped problems does not allocate.
+func TestSolverSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Solver
+	p := randomFeasibilityProblem(rng, 3, 10)
+	if _, err := s.Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Solve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Solver.Solve allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkLPSolve measures the feasibility-LP hot path: one pooled Solver
+// cycling through a fixed bag of cell-shaped LPs. allocs/op must stay at 0;
+// compare against BenchmarkLPSolveFresh for the per-call allocation cost
+// this removes.
+func BenchmarkLPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	probs := make([]Problem, 16)
+	for i := range probs {
+		probs[i] = randomFeasibilityProblem(rng, 3, 8+i%5)
+	}
+	var s Solver
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(probs[i%len(probs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPSolveFresh is the pre-pooling baseline: a fresh tableau per
+// call, as the package-level Solve does.
+func BenchmarkLPSolveFresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	probs := make([]Problem, 16)
+	for i := range probs {
+		probs[i] = randomFeasibilityProblem(rng, 3, 8+i%5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(probs[i%len(probs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

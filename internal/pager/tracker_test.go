@@ -86,3 +86,44 @@ func TestConcurrentTrackedReads(t *testing.T) {
 		t.Fatalf("store saw %d reads, want %d", got, goroutines*reads)
 	}
 }
+
+// TestSharedTrackerConcurrentWorkers models intra-query parallelism: the
+// workers of ONE query all charge the query's single tracker. The total
+// must be exact — per-query I/O attribution may not drift under
+// concurrency — and concurrent Reads snapshots must never exceed the
+// final sum.
+func TestSharedTrackerConcurrentWorkers(t *testing.T) {
+	s := NewStore(64)
+	id := s.Alloc()
+	if err := s.Write(id, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+
+	const workers, reads = 8, 500
+	var shared Tracker
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				if _, err := s.ReadTracked(id, &shared); err != nil {
+					t.Error(err)
+					return
+				}
+				if snap := shared.Reads(); snap <= 0 || snap > workers*reads {
+					t.Errorf("mid-flight snapshot %d out of range", snap)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := shared.Reads(); got != workers*reads {
+		t.Fatalf("shared tracker saw %d reads, want exactly %d", got, workers*reads)
+	}
+	if got := s.Stats().Reads; got != workers*reads {
+		t.Fatalf("store saw %d reads, want exactly %d", got, workers*reads)
+	}
+}

@@ -268,13 +268,33 @@ func (l Leaf) NodeID() int { return l.n.id }
 func (l Leaf) Version() int { return l.n.version }
 
 // Leaves returns handles to all live leaves with their |F_l| counts.
-func (t *Tree) Leaves() []Leaf {
-	var out []Leaf
+func (t *Tree) Leaves() []Leaf { return t.AppendLeaves(nil) }
+
+// AppendLeaves appends handles to all live leaves (with their |F_l|
+// counts) to dst, in deterministic depth-first order, and returns the
+// extended slice. Passing a recycled buffer keeps repeated leaf scans —
+// one per AA iteration — allocation-free.
+func (t *Tree) AppendLeaves(dst []Leaf) []Leaf {
+	return Subtree{n: t.root}.AppendLeaves(dst)
+}
+
+// Subtree is a handle to one quad-tree subtree together with the
+// full-containment count inherited from its ancestors. The subtrees
+// returned by Tree.Subtrees partition the tree's leaves, so parallel leaf
+// processors can claim whole subtrees as units of work.
+type Subtree struct {
+	n         *node
+	inherited int
+}
+
+// AppendLeaves appends the subtree's leaves (with exact |F_l| counts) to
+// dst in deterministic depth-first order and returns the extended slice.
+func (s Subtree) AppendLeaves(dst []Leaf) []Leaf {
 	var walk func(n *node, inheritedCount int)
 	walk = func(n *node, inheritedCount int) {
 		count := inheritedCount + len(n.full)
 		if n.leaf() {
-			out = append(out, Leaf{n: n, fullCount: count})
+			dst = append(dst, Leaf{n: n, fullCount: count})
 			return
 		}
 		for _, c := range n.children {
@@ -283,8 +303,40 @@ func (t *Tree) Leaves() []Leaf {
 			}
 		}
 	}
-	walk(t.root, 0)
-	return out
+	walk(s.n, s.inherited)
+	return dst
+}
+
+// Subtrees splits the tree into at least min disjoint subtrees, as far as
+// the tree's shape allows, by breadth-first expansion of internal nodes.
+// The result is deterministic for a given tree and covers every leaf
+// exactly once; concatenating AppendLeaves over the returned subtrees in
+// order reproduces Leaves() exactly, so claimers that preserve subtree
+// order preserve the tree's canonical leaf order.
+func (t *Tree) Subtrees(min int) []Subtree {
+	cur := []Subtree{{n: t.root}}
+	for len(cur) < min {
+		next := make([]Subtree, 0, 2*len(cur))
+		split := false
+		for _, s := range cur {
+			if s.n.leaf() {
+				next = append(next, s)
+				continue
+			}
+			inherited := s.inherited + len(s.n.full)
+			for _, c := range s.n.children {
+				if c != nil {
+					next = append(next, Subtree{n: c, inherited: inherited})
+				}
+			}
+			split = true
+		}
+		cur = next
+		if !split {
+			break // all leaves: cannot split further
+		}
+	}
+	return cur
 }
 
 // Stats summarises the tree shape (used by experiments and tests).

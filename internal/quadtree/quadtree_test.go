@@ -209,3 +209,46 @@ func TestInvalidDimensions(t *testing.T) {
 		t.Fatal("dr=17 accepted")
 	}
 }
+
+// TestSubtreesPartitionLeaves checks the work-claiming contract: Subtrees
+// partitions the leaves, and concatenating AppendLeaves over the subtrees
+// in order reproduces Leaves() exactly (same handles, same |Fl| counts).
+func TestSubtreesPartitionLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		dr := 1 + rng.Intn(3)
+		tree, err := New(dr, Options{MaxPartial: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			a := make(vecmath.Point, dr)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			tree.Insert(&HalfspaceRef{H: geom.Halfspace{A: a, B: rng.NormFloat64() * 0.2}, RecordID: int64(i)})
+		}
+		want := tree.Leaves()
+		for _, min := range []int{1, 2, 7, 64, 1 << 20} {
+			subs := tree.Subtrees(min)
+			var got []Leaf
+			for _, s := range subs {
+				got = append(got, s.AppendLeaves(nil)...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d min=%d: %d leaves via subtrees, want %d", trial, min, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].NodeID() != want[i].NodeID() || got[i].FullCount() != want[i].FullCount() {
+					t.Fatalf("trial %d min=%d leaf %d: (%d,%d) != (%d,%d)", trial, min, i,
+						got[i].NodeID(), got[i].FullCount(), want[i].NodeID(), want[i].FullCount())
+				}
+			}
+		}
+		// AppendLeaves into a recycled buffer matches too.
+		buf := make([]Leaf, 0, len(want))
+		if got := tree.AppendLeaves(buf[:0]); len(got) != len(want) {
+			t.Fatalf("trial %d: AppendLeaves %d != %d", trial, len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Tests for intra-query parallelism (WithQueryParallelism): the parallel
+// cell-processing core must reproduce the sequential answer bit for bit,
+// honour cancellation mid-expansion, and keep per-query I/O attribution
+// exact while its workers share one tracker.
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// queryParallelCase is one (distribution, dimensionality, algorithm) cell
+// of the equality matrix. d = 2 exercises FCA and the AA2D specialisation
+// (AA dispatches to it); d = 3 exercises BA and the general AA.
+type queryParallelCase struct {
+	dist string
+	n    int
+	d    int
+	alg  repro.Algorithm
+	tau  int
+}
+
+// TestQueryParallelismMatchesSequential is the tentpole acceptance check:
+// for every algorithm on every benchmark distribution, a query fanned out
+// over 8 intra-query workers must be bit-identical to the sequential run —
+// same regions (witnesses, boxes, constraints), same ranks, and exactly
+// the same Stats.IO, since all I/O phases (dominator counting, the
+// incomparable scan, skyline expansion) are deterministic and the workers
+// charge one shared per-query tracker. Only CPU time and the
+// scheduling-dependent work counters (LPCalls, LeavesProcessed,
+// LeavesPruned) may differ; those are zeroed before comparing.
+func TestQueryParallelismMatchesSequential(t *testing.T) {
+	var cases []queryParallelCase
+	for _, dist := range []string{"IND", "COR", "ANTI"} {
+		for _, tau := range []int{0, 2} {
+			cases = append(cases,
+				queryParallelCase{dist, 3000, 2, repro.FCA, tau},
+				queryParallelCase{dist, 3000, 2, repro.AA, tau}, // d=2: the AA2D specialisation
+				queryParallelCase{dist, 1200, 3, repro.BA, tau},
+				queryParallelCase{dist, 1200, 3, repro.AA, tau},
+			)
+		}
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/d=%d/%v/tau=%d", tc.dist, tc.d, tc.alg, tc.tau), func(t *testing.T) {
+			t.Parallel()
+			ds, err := repro.GenerateDataset(tc.dist, tc.n, tc.d, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqEng, err := repro.NewEngine(ds, repro.WithQueryParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parEng, err := repro.NewEngine(ds, repro.WithQueryParallelism(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := parEng.QueryParallelism(); got != 8 {
+				t.Fatalf("QueryParallelism() = %d, want 8", got)
+			}
+			ctx := context.Background()
+			opts := []repro.Option{
+				repro.WithAlgorithm(tc.alg),
+				repro.WithTau(tc.tau),
+				repro.WithOutrankIDs(true),
+			}
+			for q := 0; q < 4; q++ {
+				focal := (q*797 + 13) % ds.Len()
+				seq, err := seqEng.Query(ctx, focal, opts...)
+				if err != nil {
+					t.Fatalf("sequential focal %d: %v", focal, err)
+				}
+				par, err := parEng.Query(ctx, focal, opts...)
+				if err != nil {
+					t.Fatalf("parallel focal %d: %v", focal, err)
+				}
+				assertBitIdentical(t, focal, par, seq)
+				if err := repro.Validate(ds, focal, par); err != nil {
+					t.Fatalf("focal %d: %v", focal, err)
+				}
+			}
+		})
+	}
+}
+
+// assertBitIdentical compares two Results field by field: everything must
+// match exactly except CPU time and the scheduling-dependent work
+// counters.
+func assertBitIdentical(t *testing.T, focal int, got, want *repro.Result) {
+	t.Helper()
+	if got.KStar != want.KStar || got.Dominators != want.Dominators || got.MinOrder != want.MinOrder {
+		t.Fatalf("focal %d: (k*=%d dom=%d min=%d) != (k*=%d dom=%d min=%d)",
+			focal, got.KStar, got.Dominators, got.MinOrder, want.KStar, want.Dominators, want.MinOrder)
+	}
+	// Exact I/O attribution: all I/O happens in the deterministic phases,
+	// and parallel workers charge one shared per-query tracker.
+	if got.Stats.IO != want.Stats.IO {
+		t.Fatalf("focal %d: parallel IO %d != sequential IO %d", focal, got.Stats.IO, want.Stats.IO)
+	}
+	if got.Stats.HalfspacesInserted != want.Stats.HalfspacesInserted ||
+		got.Stats.Iterations != want.Stats.Iterations ||
+		got.Stats.IncomparableAccessed != want.Stats.IncomparableAccessed ||
+		got.Stats.Algorithm != want.Stats.Algorithm {
+		t.Fatalf("focal %d: deterministic stats diverged: %+v != %+v", focal, got.Stats, want.Stats)
+	}
+	if len(got.Regions) != len(want.Regions) {
+		t.Fatalf("focal %d: %d regions != %d", focal, len(got.Regions), len(want.Regions))
+	}
+	for r := range got.Regions {
+		g, w := &got.Regions[r], &want.Regions[r]
+		if g.Rank != w.Rank || g.Order != w.Order {
+			t.Fatalf("focal %d region %d: rank/order (%d,%d) != (%d,%d)", focal, r, g.Rank, g.Order, w.Rank, w.Order)
+		}
+		if !equalF64s(g.Witness, w.Witness) || !equalF64s(g.QueryVector, w.QueryVector) ||
+			!equalF64s(g.BoxLo, w.BoxLo) || !equalF64s(g.BoxHi, w.BoxHi) {
+			t.Fatalf("focal %d region %d: geometry diverged", focal, r)
+		}
+		if len(g.Constraints) != len(w.Constraints) {
+			t.Fatalf("focal %d region %d: %d constraints != %d", focal, r, len(g.Constraints), len(w.Constraints))
+		}
+		for c := range g.Constraints {
+			if g.Constraints[c].B != w.Constraints[c].B || !equalF64s(g.Constraints[c].A, w.Constraints[c].A) {
+				t.Fatalf("focal %d region %d constraint %d diverged", focal, r, c)
+			}
+		}
+		if len(g.OutrankIDs) != len(w.OutrankIDs) {
+			t.Fatalf("focal %d region %d: %d outrank IDs != %d", focal, r, len(g.OutrankIDs), len(w.OutrankIDs))
+		}
+		for i := range g.OutrankIDs {
+			if g.OutrankIDs[i] != w.OutrankIDs[i] {
+				t.Fatalf("focal %d region %d: outrank IDs diverged", focal, r)
+			}
+		}
+	}
+}
+
+func equalF64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryParallelCancellationMidExpansion cancels a parallel AA query
+// while its expansion iterations are in flight: the workers must observe
+// the cancellation at the next claimed leaf and the query must return
+// ctx.Err() long before the uncancelled runtime. Page latency makes the
+// query deterministically slow, exactly like the sequential cancellation
+// test.
+func TestQueryParallelCancellationMidExpansion(t *testing.T) {
+	slow, err := repro.GenerateDataset("IND", 2000, 3, 42, repro.WithPageLatency(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(slow, repro.WithQueryParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-cancelled: the parallel path must fail before spawning workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Query(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled parallel query returned %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := eng.Query(ctx, 17)
+		done <- err
+	}()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled parallel query returned %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled parallel query never returned")
+	}
+}

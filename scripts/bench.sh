@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# bench.sh — run the paper-figure benchmarks plus the PR 3 hot-path micro
+# benchmarks and emit a machine-readable BENCH_PR3.json: ns/op, B/op and
+# allocs/op per benchmark, plus the intra-query parallel speedup
+# (BenchmarkQueryParallelism workers=1 vs the largest worker count).
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   BENCHTIME        go test -benchtime for the (expensive) paper-figure
+#                    benchmarks (default 5x; use e.g. 2s for
+#                    publication-quality numbers, 1x for a CI smoke run)
+#   MICRO_BENCHTIME  benchtime for the ns-scale LP / cell-enumeration
+#                    micro-benchmarks (default 5000x: enough iterations
+#                    that steady-state allocs/op — the number that must be
+#                    ~0 for the pooled LP solver — is not warmup noise)
+#
+# The speedup is meaningful only on a multi-core machine; the JSON records
+# gomaxprocs so readers can tell. On machines with >= 8 cores the script
+# additionally enforces the PR 3 acceptance criterion — the workers=8
+# single-query speedup must reach MIN_SPEEDUP (default 1.8) — and exits
+# non-zero otherwise, so a regression that silently serialises the
+# parallel path fails the run. Set MIN_SPEEDUP=0 to disable the gate.
+# Requires only the Go toolchain and awk.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR3.json}
+BENCHTIME=${BENCHTIME:-5x}
+MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "running root benchmarks (Fig8, Fig9, QueryParallelism; benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism' -benchmem -benchtime "$BENCHTIME" -count 1 . >>"$TMP"
+echo "running LP micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
+go test -run '^$' -bench 'LPSolve' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/lp >>"$TMP"
+echo "running cell-enumeration micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
+go test -run '^$' -bench 'CellEnumerate' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/cellenum >>"$TMP"
+
+GOVERSION=$(go env GOVERSION)
+GOMAXPROCS=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
+
+awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTIME" '
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    n++
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    lines[n] = line
+    nsof[name] = ns
+    if (name ~ /^BenchmarkQueryParallelism\/workers=/) {
+        w = name
+        sub(/^BenchmarkQueryParallelism\/workers=/, "", w)
+        if (w + 0 > maxw + 0) { maxw = w }
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_PR3\",\n"
+    printf "  \"description\": \"paper-figure benchmarks + PR3 hot-path micro-benchmarks\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    base = nsof["BenchmarkQueryParallelism/workers=1"]
+    peak = nsof["BenchmarkQueryParallelism/workers=" maxw]
+    if (base != "" && peak != "" && peak + 0 > 0) {
+        printf "  \"parallel_speedup\": {\"workers\": %s, \"baseline_ns_per_op\": %s, \"parallel_ns_per_op\": %s, \"speedup\": %.2f},\n", maxw, base, peak, base / peak
+    }
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$TMP" >"$OUT"
+
+echo "wrote $OUT" >&2
+
+# Acceptance gate: on a machine that can actually exhibit the speedup
+# (>= 8 cores), require the measured workers=8 speedup to clear the bar.
+MIN_SPEEDUP=${MIN_SPEEDUP:-1.8}
+if [ "$GOMAXPROCS" -ge 8 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
+    SPEEDUP=$(awk -F'"speedup": ' '/parallel_speedup/ { split($2, a, "}"); print a[1] }' "$OUT")
+    if [ -z "$SPEEDUP" ]; then
+        echo "FAIL: no parallel_speedup recorded in $OUT" >&2
+        exit 1
+    fi
+    if awk 'BEGIN { exit !('"$SPEEDUP"' < '"$MIN_SPEEDUP"') }'; then
+        echo "FAIL: single-query parallel speedup $SPEEDUP < $MIN_SPEEDUP at GOMAXPROCS=$GOMAXPROCS" >&2
+        exit 1
+    fi
+    echo "parallel speedup $SPEEDUP >= $MIN_SPEEDUP (GOMAXPROCS=$GOMAXPROCS): OK" >&2
+else
+    echo "note: speedup gate skipped (GOMAXPROCS=$GOMAXPROCS < 8 or MIN_SPEEDUP=0)" >&2
+fi
