@@ -1,4 +1,5 @@
-// Command maxrank answers MaxRank / iMaxRank queries over a CSV dataset.
+// Command maxrank answers MaxRank / iMaxRank queries over a CSV dataset
+// and manages persistent index snapshots.
 //
 // Usage:
 //
@@ -8,6 +9,12 @@
 //	maxrank -data hotels.csv -batch 3,17,42 -parallel 4 # batch on a pool
 //	maxrank -data hotels.csv -focal 17 -timeout 5s      # bounded latency
 //	maxrank -data hotels.csv -focal 17 -query-parallel 8 # one query, 8 workers
+//
+// Snapshot subcommands (see docs/SNAPSHOTS.md):
+//
+//	maxrank build-snapshot -data hotels.csv -out hotels.snap
+//	maxrank build-snapshot -gen ANTI -n 100000 -dim 4 -out anti.snap
+//	maxrank inspect-snapshot hotels.snap
 package main
 
 import (
@@ -24,6 +31,22 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: the snapshot verbs get their own flag sets; a
+	// first argument starting with '-' (or none) keeps the classic
+	// query-CLI behaviour. Any other bare first argument is a mistyped
+	// verb — rejecting it here beats flag.Parse silently ignoring
+	// everything after it and complaining about unrelated flags.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "build-snapshot":
+			buildSnapshotCmd(os.Args[2:])
+		case "inspect-snapshot":
+			inspectSnapshotCmd(os.Args[2:])
+		default:
+			fatal(fmt.Errorf("unknown command %q (commands: build-snapshot, inspect-snapshot)", os.Args[1]))
+		}
+		return
+	}
 	var (
 		dataPath  = flag.String("data", "", "CSV dataset path (required)")
 		focal     = flag.Int("focal", -1, "focal record index")
@@ -52,21 +75,9 @@ func main() {
 		fatal(fmt.Errorf("specify exactly one of -focal, -point or -batch"))
 	}
 
-	f, err := os.Open(*dataPath)
+	rows, err := dataset.ReadCSVFile(*dataPath, *normalize)
 	if err != nil {
 		fatal(err)
-	}
-	pts, err := dataset.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if *normalize {
-		dataset.Normalize(pts)
-	}
-	rows := make([][]float64, len(pts))
-	for i, p := range pts {
-		rows[i] = p
 	}
 	ds, err := repro.NewDataset(rows)
 	if err != nil {

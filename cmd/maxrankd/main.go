@@ -1,15 +1,18 @@
 // Command maxrankd serves MaxRank / iMaxRank queries over HTTP.
 //
-// It loads a CSV dataset (or generates a synthetic one), builds the index
-// once, and answers queries through a long-lived engine with an optional
-// deduplicating LRU result cache. See docs/OPERATIONS.md for the full
-// endpoint reference and curl examples.
+// It serves one dataset built at startup (-data CSV or -gen synthetic) or
+// a whole directory of index snapshots (-data-dir: every *.snap file,
+// named after its basename), each behind a long-lived engine with an
+// optional deduplicating LRU result cache. Snapshots load in O(read) —
+// no index construction — and more can be attached at runtime through
+// POST /v1/datasets. See docs/OPERATIONS.md for the endpoint reference
+// and docs/SNAPSHOTS.md for the snapshot workflow.
 //
 // Usage:
 //
 //	maxrankd -data hotels.csv -addr :8080 -cache 4096
-//	maxrankd -gen IND -n 10000 -dim 3 -seed 1        # synthetic dataset
-//	maxrankd -data hotels.csv -normalize -request-timeout 10s
+//	maxrankd -gen IND -n 10000 -dim 3 -seed 1          # synthetic dataset
+//	maxrankd -data-dir /var/lib/maxrank                # every *.snap inside
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately and in-flight requests get a drain window to finish.
@@ -22,6 +25,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,24 +36,156 @@ import (
 	"repro/server"
 )
 
+// config carries the parsed flags; keeping it a plain struct makes the
+// validation rules testable without running main.
+type config struct {
+	dataPath  string
+	gen       string
+	dataDir   string
+	n, dim    int
+	seed      int64
+	normalize bool
+	cacheCap  int
+	parallel  int
+	queryPar  int
+}
+
+// validate enforces the dataset-source rules up front so a misconfigured
+// daemon fails with a clear message (and usage) instead of a confusing
+// late error: exactly one of -data, -gen and -data-dir must be chosen.
+func (c *config) validate() error {
+	set := 0
+	for _, s := range []bool{c.dataPath != "", c.gen != "", c.dataDir != ""} {
+		if s {
+			set++
+		}
+	}
+	switch {
+	case set == 0:
+		return fmt.Errorf("no dataset source: specify exactly one of -data, -gen or -data-dir")
+	case set > 1:
+		return fmt.Errorf("conflicting dataset sources: specify exactly one of -data, -gen or -data-dir")
+	}
+	if c.gen != "" && (c.n <= 0 || c.dim < 2) {
+		return fmt.Errorf("-gen needs -n >= 1 and -dim >= 2 (got n=%d dim=%d)", c.n, c.dim)
+	}
+	return nil
+}
+
+// engineOptions are the options every engine in this process shares.
+func (c *config) engineOptions() []repro.EngineOption {
+	return []repro.EngineOption{
+		repro.WithParallelism(c.parallel),
+		repro.WithQueryParallelism(c.queryPar),
+		repro.WithCache(c.cacheCap),
+	}
+}
+
+// loadSnapshotEngine builds one serving engine from a snapshot file.
+func (c *config) loadSnapshotEngine(path string) (*repro.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := repro.LoadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading snapshot %s: %w", path, err)
+	}
+	return repro.NewEngine(ds, c.engineOptions()...)
+}
+
+// buildRegistry assembles the served datasets per the validated config.
+func (c *config) buildRegistry(logger *log.Logger) (*server.Registry, error) {
+	reg := server.NewRegistry()
+	switch {
+	case c.dataDir != "":
+		// Glob returns (nil, nil) for a missing directory; a typo'd
+		// -data-dir must fail startup, not serve an empty daemon that
+		// 404s every query. An existing-but-empty directory stays legal.
+		info, err := os.Stat(c.dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("-data-dir: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("-data-dir %s is not a directory", c.dataDir)
+		}
+		paths, err := filepath.Glob(filepath.Join(c.dataDir, "*.snap"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			name := strings.TrimSuffix(filepath.Base(path), ".snap")
+			if !server.ValidDatasetName(name) {
+				return nil, fmt.Errorf("snapshot %s: %q is not a servable dataset name", path, name)
+			}
+			eng, err := c.loadSnapshotEngine(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := reg.Add(name, eng); err != nil {
+				return nil, err
+			}
+			ds := eng.Dataset()
+			logger.Printf("loaded %s: %d records (%d attributes, fingerprint %s) as %q",
+				path, ds.Len(), ds.Dim(), ds.Fingerprint(), name)
+		}
+		if reg.Len() == 0 {
+			logger.Printf("warning: no *.snap files in %s; serving empty until datasets are attached", c.dataDir)
+		}
+	default:
+		ds, err := c.buildSingleDataset()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := repro.NewEngine(ds, c.engineOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Add(server.DefaultDataset, eng); err != nil {
+			return nil, err
+		}
+		logger.Printf("serving %d records (%d attributes, fingerprint %s) as %q",
+			ds.Len(), ds.Dim(), ds.Fingerprint(), server.DefaultDataset)
+	}
+	return reg, nil
+}
+
+// buildSingleDataset loads the CSV or generates the synthetic dataset.
+func (c *config) buildSingleDataset() (*repro.Dataset, error) {
+	if c.dataPath != "" {
+		rows, err := dataset.ReadCSVFile(c.dataPath, c.normalize)
+		if err != nil {
+			return nil, err
+		}
+		return repro.NewDataset(rows)
+	}
+	return repro.GenerateDataset(c.gen, c.n, c.dim, c.seed)
+}
+
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataPath  = flag.String("data", "", "CSV dataset path (alternative to -gen)")
-		gen       = flag.String("gen", "", "generate a synthetic dataset: IND, COR or ANTI")
-		n         = flag.Int("n", 10000, "synthetic dataset cardinality (with -gen)")
-		dim       = flag.Int("dim", 3, "synthetic dataset dimensionality (with -gen)")
-		seed      = flag.Int64("seed", 1, "synthetic dataset seed (with -gen)")
-		normalize = flag.Bool("normalize", false, "min-max normalise attributes to [0,1]")
-		cacheCap  = flag.Int("cache", 4096, "result cache capacity in entries (0 disables)")
-		parallel  = flag.Int("parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
-		// The daemon serves many requests concurrently, so its default
-		// parallelism axis is ACROSS queries; each in-flight request staying
-		// sequential keeps N concurrent requests at ~N busy goroutines
-		// instead of N x GOMAXPROCS. Deployments dominated by single heavy
-		// queries opt in with -query-parallel 0 (= GOMAXPROCS) or an
-		// explicit worker count; see docs/PERFORMANCE.md.
-		queryPar   = flag.Int("query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
+		cfg  config
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.StringVar(&cfg.dataPath, "data", "", "CSV dataset path (one of -data, -gen, -data-dir)")
+	flag.StringVar(&cfg.gen, "gen", "", "generate a synthetic dataset: IND, COR or ANTI")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "serve every *.snap index snapshot in this directory")
+	flag.IntVar(&cfg.n, "n", 10000, "synthetic dataset cardinality (with -gen)")
+	flag.IntVar(&cfg.dim, "dim", 3, "synthetic dataset dimensionality (with -gen)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "synthetic dataset seed (with -gen)")
+	flag.BoolVar(&cfg.normalize, "normalize", false, "min-max normalise attributes to [0,1] (with -data)")
+	flag.IntVar(&cfg.cacheCap, "cache", 4096, "per-dataset result cache capacity in entries (0 disables)")
+	flag.IntVar(&cfg.parallel, "parallel", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	// The daemon serves many requests concurrently, so its default
+	// parallelism axis is ACROSS queries; each in-flight request staying
+	// sequential keeps N concurrent requests at ~N busy goroutines
+	// instead of N x GOMAXPROCS. Deployments dominated by single heavy
+	// queries opt in with -query-parallel 0 (= GOMAXPROCS) or an
+	// explicit worker count; see docs/PERFORMANCE.md.
+	flag.IntVar(&cfg.queryPar, "query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
+	var (
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
@@ -55,22 +193,20 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "maxrankd: ", log.LstdFlags)
 
-	ds, err := loadDataset(*dataPath, *gen, *n, *dim, *seed, *normalize)
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "maxrankd: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	reg, err := cfg.buildRegistry(logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
-	eng, err := repro.NewEngine(ds,
-		repro.WithParallelism(*parallel),
-		repro.WithQueryParallelism(*queryPar),
-		repro.WithCache(*cacheCap),
-	)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	srv, err := server.New(eng,
+	srv, err := server.NewMulti(reg,
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithMaxBatch(*maxBatch),
 		server.WithLogger(logger),
+		server.WithSnapshotLoader(cfg.loadSnapshotEngine),
 	)
 	if err != nil {
 		logger.Fatal(err)
@@ -80,8 +216,7 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	logger.Printf("serving %d records (%d attributes, fingerprint %s) on %s (cache=%d)",
-		ds.Len(), ds.Dim(), ds.Fingerprint(), *addr, *cacheCap)
+	logger.Printf("serving %d dataset(s) on %s (cache=%d per dataset)", reg.Len(), *addr, cfg.cacheCap)
 
 	select {
 	case err := <-done:
@@ -99,35 +234,4 @@ func main() {
 		<-done
 	}
 	logger.Printf("bye")
-}
-
-// loadDataset builds the served dataset from a CSV file or a synthetic
-// generator; exactly one of path and gen must be set.
-func loadDataset(path, gen string, n, dim int, seed int64, normalize bool) (*repro.Dataset, error) {
-	switch {
-	case path != "" && gen != "":
-		return nil, fmt.Errorf("specify exactly one of -data and -gen")
-	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		pts, err := dataset.ReadCSV(f)
-		if err != nil {
-			return nil, err
-		}
-		if normalize {
-			dataset.Normalize(pts)
-		}
-		rows := make([][]float64, len(pts))
-		for i, p := range pts {
-			rows[i] = p
-		}
-		return repro.NewDataset(rows)
-	case gen != "":
-		return repro.GenerateDataset(gen, n, dim, seed)
-	default:
-		return nil, fmt.Errorf("specify one of -data and -gen")
-	}
 }

@@ -289,6 +289,17 @@ func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, op
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Resolve the dataset-level quad-tree defaults before the cache key is
+	// built, so the key reflects the partitioning actually used. Only zero
+	// resolves; negative values flow through to the quadtree package,
+	// which treats them as "library default" — the per-query escape hatch
+	// from a dataset's tuned defaults (see WithQuadTree).
+	if cfg.quadMaxPartial == 0 {
+		cfg.quadMaxPartial = e.ds.quadMaxPartial
+	}
+	if cfg.quadMaxDepth == 0 {
+		cfg.quadMaxDepth = e.ds.quadMaxDepth
+	}
 	if e.cache == nil {
 		return e.compute(ctx, focal, focalID, &cfg, workers)
 	}

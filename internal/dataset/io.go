@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -88,4 +89,59 @@ func Normalize(pts []vecmath.Point) {
 			}
 		}
 	}
+}
+
+// ReadCSVFile loads a CSV dataset from a file as rows ready for
+// repro.NewDataset, optionally min-max normalising the attributes. It is
+// the one loading path shared by the CLIs (maxrank, its snapshot
+// subcommands, maxrankd).
+func ReadCSVFile(path string, normalize bool) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, err := ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if normalize {
+		Normalize(pts)
+	}
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = p
+	}
+	return rows, nil
+}
+
+// Flatten packs records into one row-major float64 slice (the layout the
+// snapshot format stores). All records must share one dimensionality.
+func Flatten(pts []vecmath.Point) []float64 {
+	if len(pts) == 0 {
+		return nil
+	}
+	dim := len(pts[0])
+	out := make([]float64, 0, len(pts)*dim)
+	for _, p := range pts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Unflatten is the inverse of Flatten: it slices a row-major buffer into
+// len(flat)/dim records. Each record gets its own backing array, so the
+// result does not alias flat.
+func Unflatten(flat []float64, dim int) ([]vecmath.Point, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("dataset: unflatten with dim %d < 1", dim)
+	}
+	if len(flat)%dim != 0 {
+		return nil, fmt.Errorf("dataset: %d values do not divide into %d-dim records", len(flat), dim)
+	}
+	pts := make([]vecmath.Point, len(flat)/dim)
+	for i := range pts {
+		pts[i] = vecmath.Point(flat[i*dim : (i+1)*dim : (i+1)*dim]).Clone()
+	}
+	return pts, nil
 }

@@ -8,6 +8,7 @@ package pager
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +130,54 @@ func (s *Store) ReadTracked(id PageID, tr *Tracker) ([]byte, error) {
 // storage device (0 restores pure in-memory behaviour). Uncounted reads —
 // construction-time I/O — never block.
 func (s *Store) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
+
+// Restore installs a page image at a specific ID without counting any
+// I/O — the restore path of a persisted index (internal/snapshot). The ID
+// is allocated if necessary and the allocation cursor advances past it, so
+// later Alloc calls never collide with restored pages.
+func (s *Store) Restore(id PageID, data []byte) error {
+	if id <= NilPage {
+		return fmt.Errorf("pager: restore of invalid page id %d", id)
+	}
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pager: %d bytes exceed page size %d", len(data), s.pageSize)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.mu.Lock()
+	s.pages[id] = buf
+	if id >= s.next {
+		s.next = id + 1
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ForEachPage visits every allocated page in ascending ID order with its
+// current contents (nil for pages allocated but never written). The store
+// must not be mutated during the walk; no I/O is counted. It is the
+// persistence path of a finalized index.
+func (s *Store) ForEachPage(fn func(id PageID, data []byte) error) error {
+	s.mu.RLock()
+	ids := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.mu.RLock()
+		data, ok := s.pages[id]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if err := fn(id, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Free releases a page.
 func (s *Store) Free(id PageID) {

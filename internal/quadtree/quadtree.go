@@ -43,7 +43,13 @@ const DefaultMaxPartial = 12
 // that below a few hundred thousand. Leaves at the cap simply keep larger
 // partial sets, which the within-leaf module handles (at CPU, not memory,
 // cost).
-func defaultMaxDepth(dr int) int {
+func defaultMaxDepth(dr int) int { return DefaultMaxDepth(dr) }
+
+// DefaultMaxDepth returns the depth cap used when Options.MaxDepth is 0,
+// by reduced dimensionality. Exported so tooling that reports a persisted
+// partitioning configuration (maxrank inspect-snapshot) can show the
+// effective cap behind a stored zero.
+func DefaultMaxDepth(dr int) int {
 	switch dr {
 	case 1:
 		return 16

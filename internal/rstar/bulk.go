@@ -27,7 +27,12 @@ func (t *Tree) BulkLoad(points []vecmath.Point, ids []int64) error {
 			return fmt.Errorf("rstar: point %d has dim %d, tree dim %d", i, len(p), t.dim)
 		}
 	}
-	// Reset the tree.
+	// Reset the tree, returning the pages of any previous contents to the
+	// store so a bulk-loaded store holds exactly the live nodes (snapshots
+	// persist every allocated page, so leaks would surface there).
+	for id := range t.cache {
+		t.store.Free(id)
+	}
 	t.cache = make(map[pager.PageID]*Node)
 	t.size = int64(len(points))
 	if len(points) == 0 {

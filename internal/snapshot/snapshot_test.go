@@ -1,0 +1,203 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sample builds a small but fully populated snapshot value.
+func sample() *Snapshot {
+	return &Snapshot{
+		Fingerprint:    "0123456789abcdef0123456789abcdef",
+		Dim:            3,
+		Count:          4,
+		PageSize:       4096,
+		QuadMaxPartial: 12,
+		QuadMaxDepth:   9,
+		Root:           7,
+		Height:         2,
+		Points: []float64{
+			0.1, 0.2, 0.3,
+			0.4, 0.5, 0.6,
+			math.Pi, math.E, math.Sqrt2,
+			1, 0, 0.5,
+		},
+		Pages: []Page{
+			{ID: 1, Data: []byte{1, 2, 3, 4}},
+			{ID: 2, Data: bytes.Repeat([]byte{0xAB}, 128)},
+			{ID: 7, Data: []byte{9}},
+		},
+	}
+}
+
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	raw := encode(t, want)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	want.FormatVersion = Version
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	a := encode(t, sample())
+	b := encode(t, sample())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two writes of the same snapshot differ")
+	}
+}
+
+func TestTruncatedAtEveryOffset(t *testing.T) {
+	raw := encode(t, sample())
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := Read(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("Read of %d/%d bytes succeeded", cut, len(raw))
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("cut at %d: error %v is not typed ErrInvalid", cut, err)
+		}
+		// Cuts beyond the fixed header are always plain truncation; cuts
+		// within it may legitimately surface as bad magic instead.
+		if cut >= len(Magic) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: error %v is neither ErrTruncated nor ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := encode(t, sample())
+	raw[0] ^= 0xFF
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+	if _, err := Read(bytes.NewReader([]byte("not a snapshot at all"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestVersionFromTheFuture(t *testing.T) {
+	raw := encode(t, sample())
+	binary.LittleEndian.PutUint32(raw[len(Magic):], Version+1)
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("%v does not wrap ErrInvalid", err)
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	raw := encode(t, sample())
+	// Flip one bit in the middle of the points payload: structure stays
+	// plausible, so only the CRC trailer can catch it.
+	raw[len(raw)/2] ^= 0x01
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupted snapshot read succeeded")
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("error %v is not typed ErrInvalid", err)
+	}
+}
+
+// TestEveryBitFlipIsCaught flips each byte of the stream in turn: every
+// mutation must yield a typed error or (for trailer-adjacent flips that
+// keep structure and CRC consistent — impossible for a CRC, but kept
+// general) a clean read; it must never panic.
+func TestEveryBitFlipIsCaught(t *testing.T) {
+	raw := encode(t, sample())
+	for i := range raw {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x5A
+		s, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at byte %d: read succeeded (%+v)", i, s)
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("flip at byte %d: error %v is not typed ErrInvalid", i, err)
+		}
+	}
+}
+
+func TestChecksumTrailerMismatch(t *testing.T) {
+	raw := encode(t, sample())
+	raw[len(raw)-1] ^= 0xFF // corrupt the stored CRC itself
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+func TestOversizedPageRejected(t *testing.T) {
+	s := sample()
+	s.Pages[0].Data = bytes.Repeat([]byte{1}, s.PageSize+1)
+	if err := Write(&bytes.Buffer{}, s); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Write accepted an oversized page: %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	cases := map[string]func(*Snapshot){
+		"nil points":      func(s *Snapshot) { s.Points = nil },
+		"dim too small":   func(s *Snapshot) { s.Dim = 1 },
+		"zero count":      func(s *Snapshot) { s.Count = 0; s.Points = nil },
+		"bad root":        func(s *Snapshot) { s.Root = 0 },
+		"bad height":      func(s *Snapshot) { s.Height = 0 },
+		"no pages":        func(s *Snapshot) { s.Pages = nil },
+		"bad page id":     func(s *Snapshot) { s.Pages[0].ID = -1 },
+		"tiny page size":  func(s *Snapshot) { s.PageSize = 8 },
+		"negative quad":   func(s *Snapshot) { s.QuadMaxDepth = -1 },
+		"huge quad":       func(s *Snapshot) { s.QuadMaxPartial = MaxQuadParam + 1 },
+		"duplicate page":  func(s *Snapshot) { s.Pages[1].ID = s.Pages[0].ID },
+		"unsorted pages":  func(s *Snapshot) { s.Pages[0], s.Pages[2] = s.Pages[2], s.Pages[0] },
+		"count mismatch":  func(s *Snapshot) { s.Count = 5 },
+		"points mismatch": func(s *Snapshot) { s.Points = s.Points[:6] },
+	}
+	for name, mutate := range cases {
+		s := sample()
+		mutate(s)
+		if err := Write(&bytes.Buffer{}, s); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Write error = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestHugeDeclaredCountDoesNotAllocate: a crafted header whose count
+// passes the sanity cap must fail with ErrTruncated when the stream runs
+// dry — not abort the process by preallocating count×dim float64s.
+func TestHugeDeclaredCountDoesNotAllocate(t *testing.T) {
+	raw := encode(t, sample())
+	// count is the u64 after magic(8) + version(4) + flags(4) + dim(4).
+	binary.LittleEndian.PutUint64(raw[20:], 1<<34-1)
+	_, err := Read(bytes.NewReader(raw[:len(raw)-4]))
+	if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrTruncated or ErrCorrupt", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	_, err := Read(bytes.NewReader(nil))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}

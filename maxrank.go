@@ -36,6 +36,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/pager"
 	"repro/internal/rstar"
+	"repro/internal/snapshot"
 	"repro/internal/vecmath"
 )
 
@@ -47,6 +48,13 @@ type Dataset struct {
 	tree   *rstar.Tree
 	store  *pager.Store
 
+	// quadMaxPartial and quadMaxDepth are the dataset's default quad-tree
+	// partitioning parameters (0 = library default). Per-query WithQuadTree
+	// options override them; they persist in snapshots so a served dataset
+	// keeps the partitioning it was built for.
+	quadMaxPartial int
+	quadMaxDepth   int
+
 	fpOnce sync.Once
 	fp     string
 }
@@ -55,10 +63,12 @@ type Dataset struct {
 type DatasetOption func(*datasetConfig)
 
 type datasetConfig struct {
-	pageSize     int
-	directMemory bool
-	insertBuild  bool
-	pageLatency  time.Duration
+	pageSize       int
+	directMemory   bool
+	insertBuild    bool
+	pageLatency    time.Duration
+	quadMaxPartial int
+	quadMaxDepth   int
 }
 
 // WithPageSize sets the simulated disk page size in bytes (default 4096,
@@ -88,6 +98,19 @@ func WithPageLatency(d time.Duration) DatasetOption {
 	return func(c *datasetConfig) { c.pageLatency = d }
 }
 
+// WithQuadDefaults sets the dataset's default quad-tree partitioning: the
+// leaf split threshold on |Pl| and the depth cap (0 keeps the library
+// defaults; values must lie in [0, snapshot.MaxQuadParam] — dataset
+// construction rejects anything else). Queries that do not pass
+// WithQuadTree use these values, and WriteSnapshot persists them, so an
+// operator-tuned partitioning survives a snapshot/load cycle.
+func WithQuadDefaults(maxPartial, maxDepth int) DatasetOption {
+	return func(c *datasetConfig) {
+		c.quadMaxPartial = maxPartial
+		c.quadMaxDepth = maxDepth
+	}
+}
+
 // NewDataset indexes the given records (one row per record; all rows must
 // share the same dimensionality d >= 2, attribute domain conventionally
 // [0,1]).
@@ -114,6 +137,14 @@ func NewDataset(points [][]float64, opts ...DatasetOption) (*Dataset, error) {
 }
 
 func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
+	// Enforce the persistable range up front: a default outside it would
+	// build a whole index only to fail later at WriteSnapshot with an
+	// error blaming the snapshot format.
+	if cfg.quadMaxPartial < 0 || cfg.quadMaxPartial > snapshot.MaxQuadParam ||
+		cfg.quadMaxDepth < 0 || cfg.quadMaxDepth > snapshot.MaxQuadParam {
+		return nil, fmt.Errorf("repro: quad-tree defaults (%d, %d) out of [0, %d]",
+			cfg.quadMaxPartial, cfg.quadMaxDepth, snapshot.MaxQuadParam)
+	}
 	store := pager.NewStore(cfg.pageSize)
 	tree, err := rstar.New(store, len(pts[0]), rstar.Options{DirectMemory: cfg.directMemory})
 	if err != nil {
@@ -133,7 +164,13 @@ func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 	}
 	store.ResetStats()
 	store.SetLatency(cfg.pageLatency)
-	return &Dataset{points: pts, tree: tree, store: store}, nil
+	return &Dataset{
+		points:         pts,
+		tree:           tree,
+		store:          store,
+		quadMaxPartial: cfg.quadMaxPartial,
+		quadMaxDepth:   cfg.quadMaxDepth,
+	}, nil
 }
 
 // GenerateDataset draws a synthetic benchmark dataset: dist is "IND", "COR"
@@ -175,19 +212,26 @@ func (ds *Dataset) ResetIO() { ds.store.ResetStats() }
 // is reported by the serving layer. Computed lazily once and then cached.
 func (ds *Dataset) Fingerprint() string {
 	ds.fpOnce.Do(func() {
-		h := sha256.New()
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(ds.Dim()))
-		h.Write(buf[:])
-		for _, p := range ds.points {
-			for _, v := range p {
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-				h.Write(buf[:])
-			}
-		}
-		ds.fp = hex.EncodeToString(h.Sum(nil)[:16])
+		ds.fp = fingerprintPoints(ds.Dim(), ds.points)
 	})
 	return ds.fp
+}
+
+// fingerprintPoints computes the content digest behind Fingerprint. It is
+// separate so the snapshot loader can verify a file's recorded
+// fingerprint against its points before building any index structures.
+func fingerprintPoints(dim int, pts []vecmath.Point) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(dim))
+	h.Write(buf[:])
+	for _, p := range pts {
+		for _, v := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Score returns record i's score under the (full, d-dimensional) query
@@ -199,6 +243,12 @@ func (ds *Dataset) Score(i int, q []float64) float64 {
 // RankOf returns the 1-based rank of a (possibly external) record under q.
 func (ds *Dataset) RankOf(record, q []float64) int {
 	return vecmath.OrderOf(ds.points, vecmath.Point(record), vecmath.Point(q))
+}
+
+// QuadDefaults returns the dataset's default quad-tree partitioning
+// parameters (0 = library default).
+func (ds *Dataset) QuadDefaults() (maxPartial, maxDepth int) {
+	return ds.quadMaxPartial, ds.quadMaxDepth
 }
 
 // internalInput assembles a core.Input for this dataset.

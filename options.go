@@ -75,7 +75,9 @@ func WithTau(tau int) Option {
 }
 
 // WithQuadTree overrides the quad-tree leaf split threshold and depth cap
-// (zero keeps the defaults).
+// per query. Zero resolves to the dataset's defaults (WithQuadDefaults)
+// and then to the library defaults; a negative value forces the library
+// default even on a dataset with tuned defaults.
 func WithQuadTree(maxPartial, maxDepth int) Option {
 	return func(c *queryConfig) {
 		c.quadMaxPartial = maxPartial

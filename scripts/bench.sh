@@ -11,6 +11,12 @@
 #   BENCHTIME        go test -benchtime for the (expensive) paper-figure
 #                    benchmarks (default 5x; use e.g. 2s for
 #                    publication-quality numbers, 1x for a CI smoke run)
+#   BENCH_COUNT      -count for the paper-figure benchmarks (default 3).
+#                    The report records the per-benchmark MINIMUM across
+#                    the runs: noise on a busy machine only ever adds
+#                    time, so the min is the stable number — what the
+#                    bench_compare.sh regression gate needs to stay
+#                    under a tight tolerance without flaking.
 #   MICRO_BENCHTIME  benchtime for the ns-scale LP / cell-enumeration
 #                    micro-benchmarks (default 5000x: enough iterations
 #                    that steady-state allocs/op — the number that must be
@@ -28,12 +34,13 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR3.json}
 BENCHTIME=${BENCHTIME:-5x}
+BENCH_COUNT=${BENCH_COUNT:-3}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "running root benchmarks (Fig8, Fig9, QueryParallelism; benchtime=$BENCHTIME)..." >&2
-go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism' -benchmem -benchtime "$BENCHTIME" -count 1 . >>"$TMP"
+echo "running root benchmarks (Fig8, Fig9, QueryParallelism; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
+go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
 echo "running LP micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
 go test -run '^$' -bench 'LPSolve' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/lp >>"$TMP"
 echo "running cell-enumeration micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
@@ -54,13 +61,21 @@ awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTI
         if ($(i) == "allocs/op") allocs = $(i-1)
     }
     if (ns == "") next
-    n++
-    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-    line = line "}"
-    lines[n] = line
-    nsof[name] = ns
+    # Repeated runs (-count > 1) collapse to the per-benchmark minimum:
+    # noise only ever adds time/allocations, so the min is the stable
+    # number the regression gate compares.
+    if (!(name in nsof)) {
+        n++
+        order[n] = name
+        itersof[name] = iters
+        nsof[name] = ns
+        bytesof[name] = bytes
+        allocsof[name] = allocs
+    } else {
+        if (ns + 0 < nsof[name] + 0) { nsof[name] = ns; itersof[name] = iters }
+        if (bytes != "" && (bytesof[name] == "" || bytes + 0 < bytesof[name] + 0))    bytesof[name] = bytes
+        if (allocs != "" && (allocsof[name] == "" || allocs + 0 < allocsof[name] + 0)) allocsof[name] = allocs
+    }
     if (name ~ /^BenchmarkQueryParallelism\/workers=/) {
         w = name
         sub(/^BenchmarkQueryParallelism\/workers=/, "", w)
@@ -70,7 +85,7 @@ awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTI
 END {
     printf "{\n"
     printf "  \"suite\": \"BENCH_PR3\",\n"
-    printf "  \"description\": \"paper-figure benchmarks + PR3 hot-path micro-benchmarks\",\n"
+    printf "  \"description\": \"paper-figure benchmarks + PR3 hot-path micro-benchmarks (min across repeated runs)\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"gomaxprocs\": %s,\n", gomaxprocs
     printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -80,7 +95,14 @@ END {
         printf "  \"parallel_speedup\": {\"workers\": %s, \"baseline_ns_per_op\": %s, \"parallel_ns_per_op\": %s, \"speedup\": %.2f},\n", maxw, base, peak, base / peak
     }
     printf "  \"benchmarks\": [\n"
-    for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, itersof[name], nsof[name])
+        if (bytesof[name] != "")  line = line sprintf(", \"bytes_per_op\": %s", bytesof[name])
+        if (allocsof[name] != "") line = line sprintf(", \"allocs_per_op\": %s", allocsof[name])
+        line = line "}"
+        printf "%s%s\n", line, (i < n ? "," : "")
+    }
     printf "  ]\n}\n"
 }
 ' "$TMP" >"$OUT"

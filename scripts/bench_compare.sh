@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# bench_compare.sh — regression gate over two bench.sh JSON reports.
+#
+# Usage:
+#   scripts/bench_compare.sh baseline.json fresh.json [tolerance_pct]
+#
+# Two comparisons, both one-sided (only regressions fail, exit 1):
+#
+#   ns/op     compared only when the two reports record the same
+#             gomaxprocs — wall-clock timing is not comparable across
+#             machine shapes. Fails on any regression > tolerance_pct
+#             (default 25).
+#   allocs/op compared ALWAYS: steady-state allocation counts are
+#             machine-shape independent (the pooled LP/enumerator hot
+#             paths must stay ~0 allocs/op everywhere), so this half of
+#             the gate still binds when the committed baseline comes from
+#             a different machine class than the CI runner.
+#
+# Requires only awk.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 baseline.json fresh.json [tolerance_pct]" >&2
+    exit 2
+fi
+BASE=$1
+FRESH=$2
+TOL=${3:-25}
+
+for f in "$BASE" "$FRESH"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: $f not found" >&2
+        exit 2
+    fi
+done
+
+gmp() {
+    awk -F'"gomaxprocs": ' '/"gomaxprocs":/ { split($2, a, ","); print a[1]; exit }' "$1"
+}
+
+BASE_GMP=$(gmp "$BASE")
+FRESH_GMP=$(gmp "$FRESH")
+if [ -z "$BASE_GMP" ] || [ -z "$FRESH_GMP" ]; then
+    echo "bench_compare: missing gomaxprocs field (baseline='$BASE_GMP' fresh='$FRESH_GMP')" >&2
+    exit 2
+fi
+COMPARE_NS=1
+if [ "$BASE_GMP" != "$FRESH_GMP" ]; then
+    echo "bench_compare: gomaxprocs differ (baseline $BASE_GMP, fresh $FRESH_GMP); ns/op comparison skipped, allocs/op gate still applies" >&2
+    COMPARE_NS=0
+fi
+
+# Extract "name ns_per_op allocs_per_op" triples ("-" when absent).
+triples() {
+    awk -F'"' '
+    /"name":/ {
+        name = $4
+        ns = "-"; allocs = "-"
+        rest = $0
+        if (rest ~ /"ns_per_op": /) {
+            v = rest; sub(/.*"ns_per_op": /, "", v); sub(/[,}].*/, "", v); ns = v
+        }
+        if (rest ~ /"allocs_per_op": /) {
+            v = rest; sub(/.*"allocs_per_op": /, "", v); sub(/[,}].*/, "", v); allocs = v
+        }
+        print name, ns, allocs
+    }' "$1"
+}
+
+triples "$BASE" >/tmp/bench_base.$$
+triples "$FRESH" >/tmp/bench_fresh.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_fresh.$$' EXIT
+
+awk -v tol="$TOL" -v compare_ns="$COMPARE_NS" '
+function regressed(b, f,   limit) {
+    # One-sided: fails only when fresh exceeds baseline by > tol%. A few
+    # extra absolute allocs of slack keeps near-zero baselines (the
+    # pooled hot paths) from failing on 0 -> 1 noise while still
+    # catching a pooling regression (0 -> dozens).
+    limit = b * (1 + tol / 100) + 2
+    return f > limit
+}
+NR == FNR { base_ns[$1] = $2; base_al[$1] = $3; next }
+{
+    if (!($1 in base_ns)) { missing_base++; next }
+    checked = 0
+    if (compare_ns && $2 != "-" && base_ns[$1] != "-") {
+        checked = 1; compared_ns++
+        if (regressed(base_ns[$1], $2)) {
+            printf "REGRESSION  %-58s ns/op     %12.0f -> %12.0f (%.2fx, tolerance %.0f%%)\n", $1, base_ns[$1], $2, $2 / base_ns[$1], tol
+            bad++
+        }
+    }
+    if ($3 != "-" && base_al[$1] != "-") {
+        checked = 1; compared_al++
+        if (regressed(base_al[$1], $3)) {
+            printf "REGRESSION  %-58s allocs/op %12.0f -> %12.0f (tolerance %.0f%% + 2)\n", $1, base_al[$1], $3, tol
+            bad++
+        }
+    }
+    if (checked) compared++
+}
+END {
+    if (compared == 0) {
+        print "bench_compare: no common benchmarks between reports" > "/dev/stderr"
+        exit 2
+    }
+    printf "compared %d benchmarks (%d ns/op checks, %d allocs/op checks", compared, compared_ns, compared_al
+    if (missing_base) printf "; %d new, not in baseline", missing_base
+    printf ")\n"
+    if (bad > 0) {
+        printf "FAIL: %d regression(s) beyond %s%% tolerance\n", bad, tol > "/dev/stderr"
+        exit 1
+    }
+    print "no regressions beyond tolerance"
+}
+' /tmp/bench_base.$$ /tmp/bench_fresh.$$

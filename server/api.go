@@ -15,6 +15,9 @@ import (
 // index into the served dataset) or Point (a what-if record with the
 // dataset's dimensionality) must be set.
 type QueryRequest struct {
+	// Dataset names the served dataset to query. Empty resolves to the
+	// sole served dataset, or to the one named "default".
+	Dataset string `json:"dataset,omitempty"`
 	// Focal is the index of the focal record in the served dataset.
 	Focal *int `json:"focal,omitempty"`
 	// Point is a hypothetical focal record (the paper's what-if scenario).
@@ -87,6 +90,8 @@ type QueryStats struct {
 // BatchRequest is the body of POST /v1/batch: the listed focal indexes are
 // queried on the engine's worker pool under shared options.
 type BatchRequest struct {
+	// Dataset names the served dataset to query; see QueryRequest.Dataset.
+	Dataset string `json:"dataset,omitempty"`
 	// Focals lists the in-dataset focal record indexes to query.
 	Focals []int `json:"focals"`
 	// Algorithm, Tau, OutrankIDs and MaxRegions apply to every query; see
@@ -103,20 +108,53 @@ type BatchResponse struct {
 	Results []QueryResponse `json:"results"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Datasets carries one entry
+// per served dataset; Dataset and Engine mirror the entry unqualified
+// requests resolve to (the sole dataset, or "default") for single-dataset
+// deployments and older clients, and are zero when no such dataset exists.
 type StatsResponse struct {
-	Dataset DatasetStats      `json:"dataset"`
-	Engine  repro.EngineStats `json:"engine"`
-	Server  ServerStats       `json:"server"`
+	Dataset  DatasetStats            `json:"dataset"`
+	Engine   repro.EngineStats       `json:"engine"`
+	Datasets map[string]DatasetEntry `json:"datasets"`
+	Server   ServerStats             `json:"server"`
 }
 
-// DatasetStats describes the served dataset.
+// DatasetEntry is one dataset's slice of GET /v1/stats.
+type DatasetEntry struct {
+	Dataset DatasetStats      `json:"dataset"`
+	Engine  repro.EngineStats `json:"engine"`
+}
+
+// DatasetStats describes one served dataset.
 type DatasetStats struct {
 	// Records and Dim are the dataset's cardinality and dimensionality.
 	Records int `json:"records"`
 	Dim     int `json:"dim"`
 	// Fingerprint is the dataset content digest that keys the result cache.
 	Fingerprint string `json:"fingerprint"`
+}
+
+// DatasetInfo is one row of GET /v1/datasets.
+type DatasetInfo struct {
+	// Name addresses the dataset in query, batch and admin requests.
+	Name string `json:"name"`
+	// Records, Dim and Fingerprint describe the dataset content.
+	Records     int    `json:"records"`
+	Dim         int    `json:"dim"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// DatasetsResponse is the body of GET /v1/datasets, sorted by name.
+type DatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// AttachRequest is the body of POST /v1/datasets: load the index snapshot
+// at Path (a file on the server's filesystem) and serve it as Name. The
+// endpoint requires the server to have been built WithSnapshotLoader.
+type AttachRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
 }
 
 // ServerStats reports the HTTP-layer counters.
@@ -149,13 +187,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	eng, _, release, err := s.reg.resolve(req.Dataset)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	var res *repro.Result
 	if req.Focal != nil {
-		res, err = s.eng.Query(ctx, *req.Focal, opts...)
+		res, err = eng.Query(ctx, *req.Focal, opts...)
 	} else {
-		res, err = s.eng.QueryPoint(ctx, req.Point, opts...)
+		res, err = eng.QueryPoint(ctx, req.Point, opts...)
 	}
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
@@ -183,9 +227,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	eng, _, release, err := s.reg.resolve(req.Dataset)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	results, err := s.eng.QueryBatch(ctx, req.Focals, opts...)
+	results, err := eng.QueryBatch(ctx, req.Focals, opts...)
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
 		return
@@ -197,22 +247,129 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, resp)
 }
 
-// handleStats serves GET /v1/stats.
+// handleStats serves GET /v1/stats: one entry per dataset (cache counters
+// are per dataset, since each engine has its own cache), plus the
+// single-dataset mirror fields and the HTTP-layer counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	ds := s.eng.Dataset()
-	s.reply(w, http.StatusOK, StatsResponse{
-		Dataset: DatasetStats{
-			Records:     ds.Len(),
-			Dim:         ds.Dim(),
-			Fingerprint: ds.Fingerprint(),
-		},
-		Engine: s.eng.Stats(),
+	resp := StatsResponse{
+		Datasets: make(map[string]DatasetEntry),
 		Server: ServerStats{
 			Requests:      s.requests.Load(),
 			Errors:        s.errors.Load(),
 			UptimeSeconds: time.Since(s.start).Seconds(),
 		},
+	}
+	s.reg.forEach(func(name string, eng *repro.Engine) {
+		ds := eng.Dataset()
+		resp.Datasets[name] = DatasetEntry{
+			Dataset: DatasetStats{
+				Records:     ds.Len(),
+				Dim:         ds.Dim(),
+				Fingerprint: ds.Fingerprint(),
+			},
+			Engine: eng.Stats(),
+		}
 	})
+	// The legacy mirror fields reuse the per-dataset entry captured above,
+	// so one response is always self-consistent (a second Stats() call, or
+	// a dataset attached between the snapshot and the resolve, would let
+	// the mirror disagree with the map).
+	if _, name, release, err := s.reg.resolve(""); err == nil {
+		release()
+		if entry, ok := resp.Datasets[name]; ok {
+			resp.Dataset = entry.Dataset
+			resp.Engine = entry.Engine
+		}
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// handleListDatasets serves GET /v1/datasets.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	resp := DatasetsResponse{Datasets: []DatasetInfo{}}
+	s.reg.forEach(func(name string, eng *repro.Engine) {
+		ds := eng.Dataset()
+		resp.Datasets = append(resp.Datasets, DatasetInfo{
+			Name:        name,
+			Records:     ds.Len(),
+			Dim:         ds.Dim(),
+			Fingerprint: ds.Fingerprint(),
+		})
+	})
+	s.reply(w, http.StatusOK, resp)
+}
+
+// handleAttachDataset serves POST /v1/datasets: load a snapshot through
+// the configured loader and register it. 501 without a loader, 409 on a
+// name collision, 422 when the snapshot cannot be loaded.
+func (s *Server) handleAttachDataset(w http.ResponseWriter, r *http.Request) {
+	if s.loader == nil {
+		s.fail(w, http.StatusNotImplemented, fmt.Errorf("snapshot attach is not enabled on this server"))
+		return
+	}
+	var req AttachRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !ValidDatasetName(req.Name) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid dataset name %q", req.Name))
+		return
+	}
+	if req.Path == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("path must be set"))
+		return
+	}
+	eng, err := s.loader(req.Path)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("loading snapshot %q: %w", req.Path, err))
+		return
+	}
+	if err := s.reg.Add(req.Name, eng); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDatasetExists) {
+			status = http.StatusConflict
+		}
+		s.fail(w, status, err)
+		return
+	}
+	ds := eng.Dataset()
+	s.logf("server: attached dataset %q (%d records, fingerprint %s)", req.Name, ds.Len(), ds.Fingerprint())
+	s.reply(w, http.StatusCreated, DatasetInfo{
+		Name:        req.Name,
+		Records:     ds.Len(),
+		Dim:         ds.Dim(),
+		Fingerprint: ds.Fingerprint(),
+	})
+}
+
+// handleDetachDataset serves DELETE /v1/datasets/{name}: the name stops
+// resolving immediately and the handler waits (bounded by the request
+// timeout) for the dataset's in-flight queries to drain. Like attach, it
+// is gated on WithSnapshotLoader — a server without the admin loader
+// exposes no mutating endpoint at all (server.New alone must not let a
+// client detach the sole dataset and brick the service).
+func (s *Server) handleDetachDataset(w http.ResponseWriter, r *http.Request) {
+	if s.loader == nil {
+		s.fail(w, http.StatusNotImplemented, fmt.Errorf("dataset administration is not enabled on this server"))
+		return
+	}
+	name := r.PathValue("name")
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := s.reg.Remove(ctx, name); err != nil {
+		switch {
+		case errors.Is(err, ErrDatasetNotFound):
+			s.fail(w, http.StatusNotFound, err)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			// Detached, but stragglers outlived the drain window.
+			s.fail(w, http.StatusGatewayTimeout, err)
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.logf("server: detached dataset %q", name)
+	s.reply(w, http.StatusOK, map[string]string{"status": "removed", "dataset": name})
 }
 
 // handleHealthz serves GET /healthz.

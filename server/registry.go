@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro"
+)
+
+// DefaultDataset is the name a single-dataset deployment serves under when
+// no explicit name is given, and the name unqualified requests resolve to
+// when several datasets are registered.
+const DefaultDataset = "default"
+
+// ErrDatasetNotFound marks a lookup of a name the registry does not hold
+// (or no longer holds — a removed dataset is gone as soon as Remove
+// starts). Handlers map it to 404.
+var ErrDatasetNotFound = errors.New("server: dataset not found")
+
+// ErrDatasetExists marks an Add under a name already registered.
+var ErrDatasetExists = errors.New("server: dataset already registered")
+
+// Registry maps dataset names to engines and tracks the in-flight queries
+// of each, so a dataset can be detached only after the queries it is
+// serving have drained. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+}
+
+// regEntry pairs an engine with its in-flight accounting.
+type regEntry struct {
+	name string
+	eng  *repro.Engine
+
+	mu       sync.Mutex
+	inflight int
+	removed  bool
+	drained  chan struct{} // closed when removed && inflight == 0
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// ValidDatasetName reports whether a name is acceptable: 1–128 bytes
+// drawn from [A-Za-z0-9._-], and not "." or "..". The allowlist (rather
+// than a denylist) is what lets names appear verbatim in URL paths and
+// file names: anything with URL metacharacters ('?', '#', '%') or path
+// dots would be attachable yet unaddressable in DELETE /v1/datasets/{name}.
+func ValidDatasetName(name string) bool {
+	if name == "" || len(name) > 128 || name == "." || name == ".." {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Add registers an engine under a name. It fails with ErrDatasetExists if
+// the name is taken.
+func (r *Registry) Add(name string, eng *repro.Engine) error {
+	if !ValidDatasetName(name) {
+		return fmt.Errorf("server: invalid dataset name %q", name)
+	}
+	if eng == nil {
+		return fmt.Errorf("server: nil engine for dataset %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	r.entries[name] = &regEntry{name: name, eng: eng, drained: make(chan struct{})}
+	return nil
+}
+
+// Acquire resolves a dataset name to its engine and pins it: the returned
+// release function must be called when the query finishes, and a Remove of
+// the dataset waits for every outstanding release. Acquire of a removed or
+// unknown name fails with ErrDatasetNotFound.
+func (r *Registry) Acquire(name string) (*repro.Engine, func(), error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	e.mu.Lock()
+	if e.removed {
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	e.inflight++
+	e.mu.Unlock()
+	var once sync.Once
+	release := func() { once.Do(e.release) }
+	return e.eng, release, nil
+}
+
+// release undoes one Acquire, closing the drain gate when a pending Remove
+// was waiting for this query.
+func (e *regEntry) release() {
+	e.mu.Lock()
+	e.inflight--
+	if e.removed && e.inflight == 0 {
+		close(e.drained)
+	}
+	e.mu.Unlock()
+}
+
+// Remove detaches a dataset: the name stops resolving immediately (new
+// Acquires fail with ErrDatasetNotFound) and Remove then blocks until the
+// queries already running against the engine have drained, or until ctx
+// expires — in which case the dataset is still detached, but the error
+// reports that stragglers were abandoned rather than awaited.
+func (r *Registry) Remove(ctx context.Context, name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	e.mu.Lock()
+	e.removed = true
+	idle := e.inflight == 0
+	if idle {
+		close(e.drained)
+	}
+	e.mu.Unlock()
+	if idle {
+		return nil
+	}
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: dataset %q detached but still draining: %w", name, ctx.Err())
+	}
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// resolve maps a request's dataset name to an entry: an explicit name must
+// exist; an empty name resolves to the only dataset when exactly one is
+// registered, or to DefaultDataset when that name exists.
+func (r *Registry) resolve(name string) (*repro.Engine, string, func(), error) {
+	if name != "" {
+		eng, release, err := r.Acquire(name)
+		return eng, name, release, err
+	}
+	r.mu.RLock()
+	switch len(r.entries) {
+	case 0:
+		r.mu.RUnlock()
+		return nil, "", nil, fmt.Errorf("%w: no datasets registered", ErrDatasetNotFound)
+	case 1:
+		for only := range r.entries {
+			name = only
+		}
+	default:
+		if _, ok := r.entries[DefaultDataset]; ok {
+			name = DefaultDataset
+		} else {
+			r.mu.RUnlock()
+			return nil, "", nil, fmt.Errorf("%w: %d datasets served, request must name one", ErrDatasetNotFound, len(r.entries))
+		}
+	}
+	r.mu.RUnlock()
+	eng, release, err := r.Acquire(name)
+	return eng, name, release, err
+}
+
+// forEach snapshots the current entries (sorted by name) and applies fn to
+// each without holding the registry lock.
+func (r *Registry) forEach(fn func(name string, eng *repro.Engine)) {
+	r.mu.RLock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		fn(e.name, e.eng)
+	}
+}

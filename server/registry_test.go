@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newEngine builds a small engine over a deterministic dataset.
+func newEngine(t testing.TB, dist string, n, dim int, seed int64) *repro.Engine {
+	t.Helper()
+	ds, err := repro.GenerateDataset(dist, n, dim, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestRegistryAddAcquireRemove(t *testing.T) {
+	reg := NewRegistry()
+	eng := newEngine(t, "IND", 100, 3, 1)
+	if err := reg.Add("hotels", eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("hotels", eng); !errors.Is(err, ErrDatasetExists) {
+		t.Fatalf("duplicate Add error = %v, want ErrDatasetExists", err)
+	}
+	for _, bad := range []string{"", "a/b", "a b", "a\\b", "a\nb", ".", "..", "a?b", "a#b", "a%b"} {
+		if err := reg.Add(bad, eng); err == nil {
+			t.Fatalf("Add(%q) succeeded, want error", bad)
+		}
+	}
+	got, release, err := reg.Acquire("hotels")
+	if err != nil || got != eng {
+		t.Fatalf("Acquire = (%v, %v), want the registered engine", got, err)
+	}
+	release()
+	release() // double release must be a no-op
+
+	if _, _, err := reg.Acquire("missing"); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("Acquire(missing) error = %v, want ErrDatasetNotFound", err)
+	}
+	if err := reg.Remove(context.Background(), "hotels"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Acquire("hotels"); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("Acquire after Remove error = %v, want ErrDatasetNotFound", err)
+	}
+	if err := reg.Remove(context.Background(), "hotels"); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("second Remove error = %v, want ErrDatasetNotFound", err)
+	}
+}
+
+// TestRegistryRemoveDrainsInflight: Remove must block until every
+// outstanding Acquire is released, and new Acquires must fail as soon as
+// Remove starts.
+func TestRegistryRemoveDrainsInflight(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("ds", newEngine(t, "IND", 100, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := reg.Acquire("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := make(chan error, 1)
+	go func() { removed <- reg.Remove(context.Background(), "ds") }()
+
+	// The name stops resolving promptly even while the drain is pending.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, rel, err := reg.Acquire("ds"); err != nil {
+			break
+		} else {
+			rel()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Acquire kept succeeding after Remove started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-removed:
+		t.Fatalf("Remove returned %v before the in-flight query released", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-removed:
+		if err != nil {
+			t.Fatalf("Remove after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Remove never returned after the last release")
+	}
+}
+
+// TestRegistryRemoveTimeout: a drain that outlives its context detaches
+// the dataset but reports the abandoned stragglers.
+func TestRegistryRemoveTimeout(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("ds", newEngine(t, "IND", 100, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := reg.Acquire("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := reg.Remove(ctx, "ds"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Remove error = %v, want DeadlineExceeded", err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("dataset still registered after timed-out Remove")
+	}
+}
+
+// TestRegistryResolveRules: empty names resolve to the sole dataset, then
+// to "default", and fail otherwise.
+func TestRegistryResolveRules(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, _, err := reg.resolve(""); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("resolve on empty registry = %v, want ErrDatasetNotFound", err)
+	}
+	engA := newEngine(t, "IND", 80, 2, 1)
+	if err := reg.Add("a", engA); err != nil {
+		t.Fatal(err)
+	}
+	eng, name, release, err := reg.resolve("")
+	if err != nil || eng != engA || name != "a" {
+		t.Fatalf("resolve with one dataset = (%v, %q, %v)", eng, name, err)
+	}
+	release()
+	if err := reg.Add("b", newEngine(t, "COR", 80, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := reg.resolve(""); !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("ambiguous resolve = %v, want ErrDatasetNotFound", err)
+	}
+	engD := newEngine(t, "ANTI", 80, 2, 3)
+	if err := reg.Add(DefaultDataset, engD); err != nil {
+		t.Fatal(err)
+	}
+	eng, name, release, err = reg.resolve("")
+	if err != nil || eng != engD || name != DefaultDataset {
+		t.Fatalf("resolve with default = (%v, %q, %v)", eng, name, err)
+	}
+	release()
+}
+
+// multiServer serves two named datasets with distinct shapes so responses
+// are attributable.
+func multiServer(t testing.TB, opts ...Option) (*Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.Add("hotels", newEngine(t, "IND", 400, 3, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("cars", newEngine(t, "ANTI", 300, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewMulti(reg, append([]Option{WithLogger(nil)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, reg
+}
+
+func TestMultiDatasetQueries(t *testing.T) {
+	srv, _ := multiServer(t)
+	focal := 7
+
+	// Unqualified request is ambiguous with two datasets and no "default".
+	code, body := post(t, srv, "/v1/query", QueryRequest{Focal: &focal})
+	if code != http.StatusNotFound {
+		t.Fatalf("unqualified query = %d (%s), want 404", code, body)
+	}
+	// Each dataset answers under its own name with its own shape.
+	var byName = map[string]int{"hotels": 0, "cars": 0}
+	for name := range byName {
+		code, body := post(t, srv, "/v1/query", QueryRequest{Dataset: name, Focal: &focal, Tau: 1})
+		if code != http.StatusOK {
+			t.Fatalf("query %s = %d: %s", name, code, body)
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.KStar < 1 {
+			t.Fatalf("%s: k* = %d", name, resp.KStar)
+		}
+		byName[name] = len(resp.Regions[0].QueryVector)
+	}
+	if byName["hotels"] != 3 || byName["cars"] != 2 {
+		t.Fatalf("query vectors came from the wrong datasets: %v", byName)
+	}
+	// Unknown dataset: 404.
+	code, body = post(t, srv, "/v1/query", QueryRequest{Dataset: "nope", Focal: &focal})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown dataset = %d (%s), want 404", code, body)
+	}
+	// Batch with a dataset name.
+	code, body = post(t, srv, "/v1/batch", BatchRequest{Dataset: "cars", Focals: []int{1, 2, 3}})
+	if code != http.StatusOK {
+		t.Fatalf("batch cars = %d: %s", code, body)
+	}
+	var batch BatchResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(batch.Results))
+	}
+}
+
+func TestDatasetListingAndStats(t *testing.T) {
+	srv, _ := multiServer(t)
+	code, body := get(t, srv, "/v1/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/datasets = %d", code)
+	}
+	var list DatasetsResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 2 || list.Datasets[0].Name != "cars" || list.Datasets[1].Name != "hotels" {
+		t.Fatalf("listing = %+v, want cars and hotels sorted", list.Datasets)
+	}
+	for _, d := range list.Datasets {
+		if d.Fingerprint == "" || d.Records == 0 || d.Dim == 0 {
+			t.Fatalf("incomplete dataset info: %+v", d)
+		}
+	}
+
+	// Run one cached pair against hotels, then check per-dataset stats.
+	focal := 3
+	for i := 0; i < 2; i++ {
+		if code, body := post(t, srv, "/v1/query", QueryRequest{Dataset: "hotels", Focal: &focal}); code != 200 {
+			t.Fatalf("query = %d: %s", code, body)
+		}
+	}
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Datasets) != 2 {
+		t.Fatalf("stats cover %d datasets, want 2", len(stats.Datasets))
+	}
+	h := stats.Datasets["hotels"].Engine
+	if h.Queries != 2 || h.CacheHits != 1 || h.CacheMisses != 1 {
+		t.Fatalf("hotels engine stats = %+v, want 2 queries, 1 hit, 1 miss", h)
+	}
+	if c := stats.Datasets["cars"].Engine; c.Queries != 0 {
+		t.Fatalf("cars engine saw %d queries, want 0", c.Queries)
+	}
+}
+
+// TestAttachAndDetachDataset drives the admin flow end to end: write a
+// snapshot to disk, POST it under a new name, query it, DELETE it.
+func TestAttachAndDetachDataset(t *testing.T) {
+	ds, err := repro.GenerateDataset("COR", 250, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "flights.snap")
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader := func(path string) (*repro.Engine, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		loaded, err := repro.LoadSnapshot(f)
+		if err != nil {
+			return nil, err
+		}
+		return repro.NewEngine(loaded, repro.WithCache(32))
+	}
+	srv, _ := multiServer(t, WithSnapshotLoader(loader))
+
+	code, body := post(t, srv, "/v1/datasets", AttachRequest{Name: "flights", Path: snapPath})
+	if code != http.StatusCreated {
+		t.Fatalf("attach = %d: %s", code, body)
+	}
+	var info DatasetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "flights" || info.Records != 250 || info.Fingerprint != ds.Fingerprint() {
+		t.Fatalf("attach info = %+v", info)
+	}
+	// Re-attach under the same name: 409.
+	code, body = post(t, srv, "/v1/datasets", AttachRequest{Name: "flights", Path: snapPath})
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate attach = %d (%s), want 409", code, body)
+	}
+	// Bad path: 422.
+	code, _ = post(t, srv, "/v1/datasets", AttachRequest{Name: "x", Path: snapPath + ".missing"})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("attach of missing file = %d, want 422", code)
+	}
+	// The attached dataset serves queries.
+	focal := 5
+	code, body = post(t, srv, "/v1/query", QueryRequest{Dataset: "flights", Focal: &focal})
+	if code != http.StatusOK {
+		t.Fatalf("query flights = %d: %s", code, body)
+	}
+	// Detach it; subsequent queries 404.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/datasets/flights", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detach = %d: %s", rec.Code, rec.Body)
+	}
+	code, _ = post(t, srv, "/v1/query", QueryRequest{Dataset: "flights", Focal: &focal})
+	if code != http.StatusNotFound {
+		t.Fatalf("query after detach = %d, want 404", code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/datasets/flights", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("second detach = %d, want 404", rec.Code)
+	}
+}
+
+func TestAdminEndpointsWithoutLoaderAre501(t *testing.T) {
+	srv, _ := multiServer(t)
+	code, _ := post(t, srv, "/v1/datasets", AttachRequest{Name: "x", Path: "/nope"})
+	if code != http.StatusNotImplemented {
+		t.Fatalf("attach without loader = %d, want 501", code)
+	}
+	// Detach is gated identically: a server without the admin loader must
+	// not let a client detach (and thereby brick) a served dataset.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/datasets/hotels", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("detach without loader = %d, want 501", rec.Code)
+	}
+	if _, release, err := srv.Registry().Acquire("hotels"); err != nil {
+		t.Fatalf("dataset was detached despite 501: %v", err)
+	} else {
+		release()
+	}
+}
+
+// TestConcurrentMultiDatasetServing hammers two datasets from many
+// goroutines while a third is attached and detached, exercising the
+// registry under the race detector.
+func TestConcurrentMultiDatasetServing(t *testing.T) {
+	srv, reg := multiServer(t)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "hotels"
+			if w%2 == 1 {
+				name = "cars"
+			}
+			for i := 0; i < 12; i++ {
+				focal := (w*13 + i) % 100
+				code, body := post(t, srv, "/v1/query", QueryRequest{Dataset: name, Focal: &focal})
+				if code != http.StatusOK {
+					t.Errorf("worker %d: query %s = %d: %s", w, name, code, body)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrently churn a third dataset in and out of the registry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("churn-%d", i)
+			if err := reg.Add(name, newEngine(t, "IND", 50, 2, int64(i))); err != nil {
+				t.Errorf("add %s: %v", name, err)
+				return
+			}
+			if err := reg.Remove(context.Background(), name); err != nil {
+				t.Errorf("remove %s: %v", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Both long-lived datasets saw traffic, with separate counters.
+	_, body := get(t, srv, "/v1/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if q := stats.Datasets["hotels"].Engine.Queries; q != 4*12 {
+		t.Fatalf("hotels served %d queries, want %d", q, 4*12)
+	}
+	if q := stats.Datasets["cars"].Engine.Queries; q != 4*12 {
+		t.Fatalf("cars served %d queries, want %d", q, 4*12)
+	}
+}

@@ -1,19 +1,28 @@
-// Package server exposes a repro.Engine over an HTTP/JSON API — the
-// serving layer behind the maxrankd daemon.
+// Package server exposes one or more repro.Engines over an HTTP/JSON
+// API — the serving layer behind the maxrankd daemon. Engines live in a
+// Registry keyed by dataset name, so one process serves many indexed
+// datasets; single-dataset deployments register theirs as "default" and
+// never mention names.
 //
 // Endpoints:
 //
-//	POST /v1/query   one MaxRank / iMaxRank query (in-dataset or what-if focal)
-//	POST /v1/batch   many queries on the engine's worker pool
-//	GET  /v1/stats   dataset, engine/cache and server counters
-//	GET  /healthz    liveness probe
-//	GET  /debug/vars expvar metrics (Go runtime + maxrank counters)
+//	POST   /v1/query            one MaxRank / iMaxRank query (in-dataset or what-if focal)
+//	POST   /v1/batch            many queries on the engine's worker pool
+//	GET    /v1/datasets         served datasets: names, fingerprints, point counts
+//	POST   /v1/datasets         attach a dataset from an index snapshot (admin)
+//	DELETE /v1/datasets/{name}  detach a dataset, draining its in-flight queries (admin)
+//	GET    /v1/stats            per-dataset, engine/cache and server counters
+//	GET    /healthz             liveness probe
+//	GET    /debug/vars          expvar metrics (Go runtime + maxrank counters)
 //
-// Every request runs under a per-request timeout, responses are JSON, and
-// Shutdown drains in-flight requests (graceful shutdown). Results are
-// served from the engine's deduplicating cache when it was built with
-// repro.WithCache; a cached answer is marked "cached": true and is
-// byte-identical to any other cached answer for the same query.
+// Query and batch requests address a dataset with their "dataset" field;
+// when omitted, the sole served dataset (or the one named "default") is
+// used. Every request runs under a per-request timeout, responses are
+// JSON, and Shutdown drains in-flight requests (graceful shutdown).
+// Results are served from the addressed engine's deduplicating cache when
+// it was built with repro.WithCache; a cached answer is marked
+// "cached": true and is byte-identical to any other cached answer for the
+// same query.
 package server
 
 import (
@@ -30,11 +39,14 @@ import (
 	"repro"
 )
 
-// Server serves MaxRank queries from one engine. Construct with New; the
-// zero value is not usable. A Server is itself an http.Handler, so it can
-// be mounted under a larger mux or driven by httptest.
+// Server serves MaxRank queries from the engines in a Registry. Construct
+// with New (one engine, served as "default") or NewMulti (a shared
+// registry); the zero value is not usable. A Server is itself an
+// http.Handler, so it can be mounted under a larger mux or driven by
+// httptest.
 type Server struct {
-	eng      *repro.Engine
+	reg      *Registry
+	loader   func(path string) (*repro.Engine, error)
 	mux      *http.ServeMux
 	timeout  time.Duration
 	maxBatch int
@@ -76,13 +88,40 @@ func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
 }
 
-// New builds a Server over the engine.
+// WithSnapshotLoader enables the dataset admin endpoints — POST
+// /v1/datasets (attach) and DELETE /v1/datasets/{name} (detach): load
+// builds an engine from an index-snapshot file path (typically
+// repro.LoadSnapshot plus the deployment's engine options). Without a
+// loader both endpoints answer 501, so runtime mutation of the served
+// dataset set is strictly opt-in.
+func WithSnapshotLoader(load func(path string) (*repro.Engine, error)) Option {
+	return func(s *Server) { s.loader = load }
+}
+
+// New builds a Server over one engine, registered under the name
+// "default". It is the single-dataset convenience constructor; see
+// NewMulti for serving several datasets.
 func New(eng *repro.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
+	reg := NewRegistry()
+	if err := reg.Add(DefaultDataset, eng); err != nil {
+		return nil, err
+	}
+	return NewMulti(reg, opts...)
+}
+
+// NewMulti builds a Server over a registry of named engines. The registry
+// may start empty (datasets can be attached later through the admin
+// endpoint) and may be shared with code that adds or removes datasets out
+// of band.
+func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("server: nil registry")
+	}
 	s := &Server{
-		eng:      eng,
+		reg:      reg,
 		timeout:  30 * time.Second,
 		maxBatch: 1024,
 		maxBody:  1 << 20,
@@ -95,6 +134,9 @@ func New(eng *repro.Engine, opts ...Option) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleAttachDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDetachDataset)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -108,8 +150,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Engine returns the engine the server queries.
-func (s *Server) Engine() *repro.Engine { return s.eng }
+// Engine returns the engine unqualified requests resolve to (the sole
+// dataset, or the one named "default"), or nil when no such engine exists.
+// Multi-dataset callers should use Registry instead.
+func (s *Server) Engine() *repro.Engine {
+	eng, _, release, err := s.reg.resolve("")
+	if err != nil {
+		return nil
+	}
+	release()
+	return eng
+}
+
+// Registry returns the server's dataset registry.
+func (s *Server) Registry() *Registry { return s.reg }
 
 // ListenAndServe serves on addr until Shutdown (or a listener error). It
 // blocks; on graceful shutdown it returns nil rather than
@@ -195,13 +249,24 @@ func publishExpvar(s *Server) {
 				return int64(0)
 			}
 		}
+		// Engine counters sum across every registered dataset.
+		sum := func(get func(repro.EngineStats) int64) func(*Server) int64 {
+			return func(t *Server) int64 {
+				var total int64
+				t.reg.forEach(func(_ string, eng *repro.Engine) {
+					total += get(eng.Stats())
+				})
+				return total
+			}
+		}
 		m.Set("requests", counter(func(t *Server) int64 { return t.requests.Load() }))
 		m.Set("errors", counter(func(t *Server) int64 { return t.errors.Load() }))
-		m.Set("queries", counter(func(t *Server) int64 { return t.eng.Stats().Queries }))
-		m.Set("cache_hits", counter(func(t *Server) int64 { return t.eng.Stats().CacheHits }))
-		m.Set("cache_misses", counter(func(t *Server) int64 { return t.eng.Stats().CacheMisses }))
-		m.Set("cache_evictions", counter(func(t *Server) int64 { return t.eng.Stats().CacheEvictions }))
-		m.Set("cache_size", counter(func(t *Server) int64 { return int64(t.eng.Stats().CacheSize) }))
+		m.Set("datasets", counter(func(t *Server) int64 { return int64(t.reg.Len()) }))
+		m.Set("queries", counter(sum(func(s repro.EngineStats) int64 { return s.Queries })))
+		m.Set("cache_hits", counter(sum(func(s repro.EngineStats) int64 { return s.CacheHits })))
+		m.Set("cache_misses", counter(sum(func(s repro.EngineStats) int64 { return s.CacheMisses })))
+		m.Set("cache_evictions", counter(sum(func(s repro.EngineStats) int64 { return s.CacheEvictions })))
+		m.Set("cache_size", counter(sum(func(s repro.EngineStats) int64 { return int64(s.CacheSize) })))
 		expvar.Publish("maxrank", m)
 	})
 }

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/pager"
+	"repro/internal/rstar"
+	"repro/internal/snapshot"
+)
+
+// WriteSnapshot persists the dataset and its R*-tree index in the
+// versioned, checksummed binary format of internal/snapshot: the raw
+// records, every index page exactly as the pager stores it, and the
+// dataset's quad-tree partitioning defaults. LoadSnapshot restores the
+// dataset without rebuilding anything, and the restored dataset produces
+// bit-identical query results — regions, ranks, witnesses and Stats.IO —
+// to this one.
+//
+// The stream is deterministic: the same dataset writes byte-identical
+// snapshots. The dataset must not be mutated concurrently.
+func (ds *Dataset) WriteSnapshot(w io.Writer) error {
+	snap := &snapshot.Snapshot{
+		Fingerprint:    ds.Fingerprint(),
+		Dim:            ds.Dim(),
+		Count:          ds.Len(),
+		PageSize:       ds.store.PageSize(),
+		QuadMaxPartial: ds.quadMaxPartial,
+		QuadMaxDepth:   ds.quadMaxDepth,
+		Root:           int64(ds.tree.Root()),
+		Height:         ds.tree.Height(),
+		Points:         dataset.Flatten(ds.points),
+	}
+	err := ds.store.ForEachPage(func(id pager.PageID, data []byte) error {
+		if data == nil {
+			return fmt.Errorf("repro: page %d allocated but never written (index not finalized?)", id)
+		}
+		snap.Pages = append(snap.Pages, snapshot.Page{ID: int64(id), Data: data})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return snapshot.Write(w, snap)
+}
+
+// Snapshot persists the engine's dataset and index; see
+// Dataset.WriteSnapshot. It is safe to call while the engine serves
+// queries: the index is immutable once built.
+func (e *Engine) Snapshot(w io.Writer) error { return e.ds.WriteSnapshot(w) }
+
+// LoadSnapshot restores a dataset from a snapshot written by
+// WriteSnapshot, skipping index construction entirely: the R*-tree pages
+// are installed verbatim and the tree metadata is taken from the snapshot,
+// so cold start costs one sequential read instead of a bulk load. The
+// restored dataset is query-equivalent to the one that was persisted —
+// results, including Stats.IO, are bit-identical.
+//
+// Options apply as in NewDataset with two exceptions: the page size and
+// the quad-tree defaults come from the snapshot, so WithPageSize and
+// WithQuadDefaults are ignored (the pages were encoded for the persisted
+// size); WithInsertBuild is meaningless here and also ignored.
+// WithDirectMemory (default on, as in NewDataset) and WithPageLatency
+// configure the serving scenario as usual.
+//
+// Decode failures carry the typed errors of internal/snapshot (bad magic,
+// truncation, future version, checksum mismatch); a snapshot whose points
+// do not hash to its recorded fingerprint fails with ErrSnapshotMismatch.
+func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg := datasetConfig{directMemory: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pts, err := dataset.Unflatten(snap.Points, snap.Dim)
+	if err != nil {
+		return nil, err
+	}
+	// The fingerprint ties the points to the index pages: verify before
+	// building anything, so a snapshot assembled from mismatched halves
+	// (or silently altered points that still pass the CRC of a re-written
+	// file) fails fast instead of having its untrustworthy pages restored
+	// and decoded first.
+	fp := fingerprintPoints(snap.Dim, pts)
+	if fp != snap.Fingerprint {
+		return nil, fmt.Errorf("%w: points hash to %s, snapshot records %s",
+			ErrSnapshotMismatch, fp, snap.Fingerprint)
+	}
+	store := pager.NewStore(snap.PageSize)
+	for _, p := range snap.Pages {
+		if err := store.Restore(pager.PageID(p.ID), p.Data); err != nil {
+			return nil, err
+		}
+	}
+	tree, err := rstar.Restore(store, snap.Dim, pager.PageID(snap.Root), snap.Height, int64(snap.Count),
+		rstar.Options{DirectMemory: cfg.directMemory})
+	if err != nil {
+		return nil, err
+	}
+	store.ResetStats()
+	store.SetLatency(cfg.pageLatency)
+	return &Dataset{
+		points:         pts,
+		tree:           tree,
+		store:          store,
+		quadMaxPartial: snap.QuadMaxPartial,
+		quadMaxDepth:   snap.QuadMaxDepth,
+	}, nil
+}
+
+// ErrSnapshotMismatch marks a structurally valid snapshot whose recorded
+// dataset fingerprint does not match its points — the index pages cannot
+// be trusted to describe the records.
+var ErrSnapshotMismatch = fmt.Errorf("repro: snapshot fingerprint mismatch: %w", snapshot.ErrInvalid)

@@ -1,0 +1,290 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/snapshot"
+)
+
+// roundTripDataset writes ds to a snapshot and loads it back.
+func roundTripDataset(t testing.TB, ds *repro.Dataset, opts ...repro.DatasetOption) *repro.Dataset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	loaded, err := repro.LoadSnapshot(bytes.NewReader(buf.Bytes()), opts...)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	return loaded
+}
+
+// stripTiming zeroes the only scheduling-dependent field so results can be
+// compared bit-for-bit.
+func stripTiming(res *repro.Result) *repro.Result {
+	cp := *res
+	cp.Stats.CPUTime = 0
+	cp.Cached = false
+	return &cp
+}
+
+// TestSnapshotRoundTripBitIdentical is the PR acceptance test: an engine
+// built from a snapshot must produce bit-identical Results — regions,
+// ranks, witnesses, constraints, OutrankIDs and Stats.IO — to an engine
+// bulk-loaded from the same raw points, across every algorithm and data
+// distribution.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	cases := []struct {
+		dim  int
+		algs []repro.Algorithm
+	}{
+		// d = 2 exercises FCA, BA and AA's sorted-list specialisation
+		// (the paper's AA2D); d = 3 exercises general BA and AA.
+		{2, []repro.Algorithm{repro.FCA, repro.BA, repro.AA}},
+		{3, []repro.Algorithm{repro.BA, repro.AA}},
+	}
+	for _, dist := range []string{"IND", "COR", "ANTI"} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/d%d", dist, tc.dim), func(t *testing.T) {
+				built, err := repro.GenerateDataset(dist, 600, tc.dim, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				loaded := roundTripDataset(t, built)
+				if built.Fingerprint() != loaded.Fingerprint() {
+					t.Fatalf("fingerprint changed across round trip: %s vs %s",
+						built.Fingerprint(), loaded.Fingerprint())
+				}
+				engBuilt, err := repro.NewEngine(built)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engLoaded, err := repro.NewEngine(loaded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := context.Background()
+				for _, alg := range tc.algs {
+					for _, tau := range []int{0, 2} {
+						for _, focal := range []int{3, 17, 255} {
+							a, err := engBuilt.Query(ctx, focal,
+								repro.WithAlgorithm(alg), repro.WithTau(tau), repro.WithOutrankIDs(true))
+							if err != nil {
+								t.Fatalf("%v tau=%d focal=%d (built): %v", alg, tau, focal, err)
+							}
+							b, err := engLoaded.Query(ctx, focal,
+								repro.WithAlgorithm(alg), repro.WithTau(tau), repro.WithOutrankIDs(true))
+							if err != nil {
+								t.Fatalf("%v tau=%d focal=%d (loaded): %v", alg, tau, focal, err)
+							}
+							if !reflect.DeepEqual(stripTiming(a), stripTiming(b)) {
+								t.Fatalf("%v tau=%d focal=%d: results differ across snapshot round trip\n built: %+v\nloaded: %+v",
+									alg, tau, focal, stripTiming(a), stripTiming(b))
+							}
+							if a.Stats.IO != b.Stats.IO {
+								t.Fatalf("%v tau=%d focal=%d: IO %d vs %d", alg, tau, focal, a.Stats.IO, b.Stats.IO)
+							}
+							if err := repro.Validate(loaded, focal, b); err != nil {
+								t.Fatalf("loaded result fails validation: %v", err)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotDeterministicBytes: the same dataset must serialise to the
+// same bytes, so snapshot files can themselves be fingerprinted.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	ds := genDS(t, "IND", 300, 3)
+	var a, b bytes.Buffer
+	if err := ds.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of one dataset differ")
+	}
+}
+
+// TestSnapshotPreservesQuadDefaults: partitioning tuned at build time must
+// survive persistence and shape loaded-engine results exactly like it
+// shaped built-engine results.
+func TestSnapshotPreservesQuadDefaults(t *testing.T) {
+	built, err := repro.GenerateDataset("ANTI", 500, 3, 9, repro.WithQuadDefaults(6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTripDataset(t, built)
+	mp, md := loaded.QuadDefaults()
+	if mp != 6 || md != 5 {
+		t.Fatalf("loaded quad defaults (%d, %d), want (6, 5)", mp, md)
+	}
+	engBuilt, _ := repro.NewEngine(built)
+	engLoaded, _ := repro.NewEngine(loaded)
+	a, err := engBuilt.Query(context.Background(), 11, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engLoaded.Query(context.Background(), 11, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(a), stripTiming(b)) {
+		t.Fatal("results differ under persisted quad defaults")
+	}
+}
+
+// TestQuadTreeNegativeForcesLibraryDefault: on a dataset with tuned quad
+// defaults, WithQuadTree(-1, -1) must reproduce the library-default
+// partitioning (zero would resolve to the dataset defaults instead).
+func TestQuadTreeNegativeForcesLibraryDefault(t *testing.T) {
+	plain, err := repro.GenerateDataset("IND", 400, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := repro.GenerateDataset("IND", 400, 3, 5, repro.WithQuadDefaults(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engPlain, _ := repro.NewEngine(plain)
+	engTuned, _ := repro.NewEngine(tuned)
+	ctx := context.Background()
+	def, err := engPlain.Query(ctx, 7, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := engTuned.Query(ctx, 7, repro.WithTau(1), repro.WithQuadTree(-1, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(def), stripTiming(forced)) {
+		t.Fatal("WithQuadTree(-1, -1) on a tuned dataset differs from the library default")
+	}
+	viaDefaults, err := engTuned.Query(ctx, 7, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(stripTiming(def).Regions, stripTiming(viaDefaults).Regions) {
+		t.Log("note: tuned defaults happened to produce identical regions; escape hatch still verified above")
+	}
+}
+
+// TestEngineSnapshot: Engine.Snapshot is Dataset.WriteSnapshot.
+func TestEngineSnapshot(t *testing.T) {
+	ds := genDS(t, "COR", 200, 2)
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaEngine, viaDataset bytes.Buffer
+	if err := eng.Snapshot(&viaEngine); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteSnapshot(&viaDataset); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaEngine.Bytes(), viaDataset.Bytes()) {
+		t.Fatal("Engine.Snapshot differs from Dataset.WriteSnapshot")
+	}
+}
+
+// TestLoadSnapshotFingerprintMismatch: a structurally valid snapshot whose
+// points no longer hash to the recorded fingerprint must be rejected with
+// the typed error.
+func TestLoadSnapshotFingerprintMismatch(t *testing.T) {
+	ds := genDS(t, "IND", 100, 3)
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Points[0] += 0.25 // tamper, then re-encode with a fresh (valid) CRC
+	var tampered bytes.Buffer
+	if err := snapshot.Write(&tampered, snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.LoadSnapshot(bytes.NewReader(tampered.Bytes()))
+	if !errors.Is(err, repro.ErrSnapshotMismatch) {
+		t.Fatalf("got %v, want ErrSnapshotMismatch", err)
+	}
+	if !errors.Is(err, snapshot.ErrInvalid) {
+		t.Fatalf("%v does not wrap snapshot.ErrInvalid", err)
+	}
+}
+
+// TestLoadSnapshotCorruptionTyped: the loader surfaces the decoder's typed
+// errors for the canonical corruption modes.
+func TestLoadSnapshotCorruptionTyped(t *testing.T) {
+	ds := genDS(t, "IND", 100, 3)
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		_, err := repro.LoadSnapshot(bytes.NewReader(raw[:len(raw)/3]))
+		if !errors.Is(err, snapshot.ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		mut := bytes.Clone(raw)
+		mut[3] ^= 0xFF
+		_, err := repro.LoadSnapshot(bytes.NewReader(mut))
+		if !errors.Is(err, snapshot.ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		mut := bytes.Clone(raw)
+		mut[len(snapshot.Magic)] = 0xEE
+		_, err := repro.LoadSnapshot(bytes.NewReader(mut))
+		if !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("payload flip", func(t *testing.T) {
+		mut := bytes.Clone(raw)
+		mut[len(mut)/2] ^= 0x10
+		_, err := repro.LoadSnapshot(bytes.NewReader(mut))
+		if !errors.Is(err, snapshot.ErrInvalid) {
+			t.Fatalf("got %v, want a typed snapshot error", err)
+		}
+	})
+}
+
+// TestLoadSnapshotWithoutDirectMemory: the disk-resident configuration
+// decodes pages on demand; answers and I/O counts stay identical.
+func TestLoadSnapshotWithoutDirectMemory(t *testing.T) {
+	built := genDS(t, "ANTI", 400, 3)
+	loaded := roundTripDataset(t, built, repro.WithDirectMemory(false))
+	engBuilt, _ := repro.NewEngine(built)
+	engLoaded, _ := repro.NewEngine(loaded)
+	a, err := engBuilt.Query(context.Background(), 42, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engLoaded.Query(context.Background(), 42, repro.WithTau(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(a), stripTiming(b)) {
+		t.Fatal("results differ when the loaded index decodes pages on demand")
+	}
+}
