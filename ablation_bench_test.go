@@ -62,7 +62,7 @@ func BenchmarkAblation_DirectMemory(b *testing.B) {
 	}
 	rows := make([][]float64, base.Len())
 	for i := range rows {
-		rows[i] = base.Point(i)
+		rows[i] = mustPoint(b, base, i)
 	}
 	for _, direct := range []bool{true, false} {
 		ds, err := repro.NewDataset(rows, repro.WithDirectMemory(direct))

@@ -1,6 +1,9 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -14,6 +17,35 @@ func genDS(t testing.TB, dist string, n, d int, opts ...repro.DatasetOption) *re
 		t.Fatal(err)
 	}
 	return ds
+}
+
+// mustPoint / mustScore / mustRank unwrap the error-returning dataset
+// accessors for test sites that pass known-valid arguments.
+func mustPoint(t testing.TB, ds *repro.Dataset, i int) []float64 {
+	t.Helper()
+	p, err := ds.Point(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustScore(t testing.TB, ds *repro.Dataset, i int, q []float64) float64 {
+	t.Helper()
+	s, err := ds.Score(i, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustRank(t testing.TB, ds *repro.Dataset, rec, q []float64) int {
+	t.Helper()
+	r, err := ds.RankOf(rec, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestComputeAgainstValidate(t *testing.T) {
@@ -94,7 +126,7 @@ func TestOutrankIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	focal := ds.Point(3)
+	focal := mustPoint(t, ds, 3)
 	for _, reg := range res.Regions {
 		if len(reg.OutrankIDs) != reg.Order {
 			t.Fatalf("region lists %d outranking records, order is %d",
@@ -102,10 +134,10 @@ func TestOutrankIDs(t *testing.T) {
 		}
 		// Direct check: each listed record scores above the focal record at
 		// the witness preference.
-		fs := ds.Score(3, reg.QueryVector)
+		fs := mustScore(t, ds, 3, reg.QueryVector)
 		_ = fs
 		for _, id := range reg.OutrankIDs {
-			if ds.Score(int(id), reg.QueryVector) <= ds.Score(3, reg.QueryVector) {
+			if mustScore(t, ds, int(id), reg.QueryVector) <= mustScore(t, ds, 3, reg.QueryVector) {
 				t.Fatalf("record %d listed but does not outrank at witness", id)
 			}
 		}
@@ -209,7 +241,7 @@ func TestInsertBuildMatchesBulk(t *testing.T) {
 	pts := make([][]float64, 0, 300)
 	dsBulk := genDS(t, "COR", 300, 3)
 	for i := 0; i < dsBulk.Len(); i++ {
-		pts = append(pts, dsBulk.Point(i))
+		pts = append(pts, mustPoint(t, dsBulk, i))
 	}
 	dsIns, err := repro.NewDataset(pts, repro.WithInsertBuild(true))
 	if err != nil {
@@ -258,7 +290,74 @@ func TestRankOfConsistency(t *testing.T) {
 		t.Fatal("no regions")
 	}
 	q := res.Regions[0].QueryVector
-	if got := ds.RankOf(ds.Point(11), q); got != res.KStar {
+	if got := mustRank(t, ds, mustPoint(t, ds, 11), q); got != res.KStar {
 		t.Fatalf("RankOf = %d, k* = %d", got, res.KStar)
+	}
+}
+
+// TestNonFiniteRejected: NaN / ±Inf coordinates must fail at dataset
+// construction and at what-if query time — a single NaN silently poisons
+// LP feasibility, score ordering and the content fingerprint otherwise.
+func TestNonFiniteRejected(t *testing.T) {
+	bad := [][][]float64{
+		{{0.1, 0.2}, {math.NaN(), 0.3}},
+		{{0.1, 0.2}, {0.3, math.Inf(1)}},
+		{{math.Inf(-1), 0.2}, {0.3, 0.4}},
+	}
+	for i, rows := range bad {
+		if _, err := repro.NewDataset(rows); err == nil {
+			t.Fatalf("case %d: non-finite dataset accepted", i)
+		}
+	}
+	ds := genDS(t, "IND", 50, 3)
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, focal := range [][]float64{
+		{math.NaN(), 0.5, 0.5},
+		{0.5, math.Inf(1), 0.5},
+		{0.5, 0.5, math.Inf(-1)},
+	} {
+		_, err := eng.QueryPoint(context.Background(), focal)
+		if err == nil {
+			t.Fatalf("case %d: non-finite what-if focal accepted", i)
+		}
+		if !errors.Is(err, repro.ErrBadQuery) {
+			t.Fatalf("case %d: error %v does not wrap ErrBadQuery", i, err)
+		}
+	}
+}
+
+// TestAccessorErrors: Point, Score and RankOf fail cleanly (ErrBadQuery)
+// on out-of-range indexes and dimensionality mismatches instead of
+// panicking.
+func TestAccessorErrors(t *testing.T) {
+	ds := genDS(t, "IND", 10, 3)
+	if _, err := ds.Point(-1); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("Point(-1): %v", err)
+	}
+	if _, err := ds.Point(10); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("Point(10): %v", err)
+	}
+	if _, err := ds.Score(10, []float64{1, 0, 0}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("Score out of range: %v", err)
+	}
+	if _, err := ds.Score(0, []float64{1, 0}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("Score dim mismatch: %v", err)
+	}
+	if _, err := ds.RankOf([]float64{1, 0}, []float64{1, 0, 0}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("RankOf record dim mismatch: %v", err)
+	}
+	if _, err := ds.RankOf([]float64{1, 0, 0}, []float64{1, 0, 0, 0}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Fatalf("RankOf query dim mismatch: %v", err)
+	}
+	// Valid calls still work.
+	p := mustPoint(t, ds, 0)
+	if got := mustRank(t, ds, p, []float64{0.3, 0.3, 0.4}); got < 1 || got > 10 {
+		t.Fatalf("rank %d out of [1,10]", got)
+	}
+	if s := mustScore(t, ds, 0, []float64{1, 0, 0}); s != p[0] {
+		t.Fatalf("score %v, want %v", s, p[0])
 	}
 }

@@ -198,7 +198,7 @@ func BenchmarkSubstrates(b *testing.B) {
 	}
 	rows := make([][]float64, ds.Len())
 	for i := range rows {
-		rows[i] = ds.Point(i)
+		rows[i] = mustPoint(b, ds, i)
 	}
 	b.Run("BulkLoad/n=20000", func(b *testing.B) {
 		b.ReportAllocs()
@@ -216,4 +216,39 @@ func BenchmarkSubstrates(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkApply measures the mutation subsystem: one batch of point
+// inserts/deletes producing a new engine version (page-image copy +
+// incremental R* updates + finalize), at two dataset sizes and two batch
+// shapes. Ops/sec here is versions/sec; allocs/op tracks the copy cost.
+func BenchmarkApply(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{2000, 10000} {
+		ds, err := repro.GenerateDataset("IND", n, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := repro.NewEngine(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range []int{1, 64} {
+			ops := make([]repro.Op, 0, batch*2)
+			for k := 0; k < batch; k++ {
+				ops = append(ops, repro.DeleteOp(k*7%n))
+				ops = append(ops, repro.InsertOp([]float64{
+					float64(k%97) / 97, float64(k%89) / 89, float64(k%83) / 83,
+				}))
+			}
+			b.Run(fmt.Sprintf("n=%d/ops=%d", n, batch*2), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Apply(ctx, ops); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

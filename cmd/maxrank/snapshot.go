@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"repro"
 	"repro/internal/dataset"
@@ -59,7 +58,9 @@ func buildSnapshotCmd(args []string) {
 		fatal(err)
 	}
 
-	if err := writeSnapshotAtomic(ds, *out); err != nil {
+	// WriteSnapshotFile is atomic (temp file + rename, 0644), so a crash
+	// mid-write never leaves a half-snapshot under the target name.
+	if err := ds.WriteSnapshotFile(*out); err != nil {
 		fatal(err)
 	}
 	info, err := os.Stat(*out)
@@ -68,31 +69,6 @@ func buildSnapshotCmd(args []string) {
 	}
 	fmt.Printf("wrote %s: %d records, %d attributes, fingerprint %s, %d bytes\n",
 		*out, ds.Len(), ds.Dim(), ds.Fingerprint(), info.Size())
-}
-
-// writeSnapshotAtomic persists ds through a temp file + rename, so a
-// crash mid-write never leaves a half-snapshot under the target name.
-// Returning (rather than exiting) on failure lets the deferred remove
-// actually clean the temp file up — fatal()'s os.Exit would skip it.
-func writeSnapshotAtomic(ds *repro.Dataset, out string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(out), ".snap-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := ds.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	// CreateTemp makes the file 0600; snapshots are built by one user and
-	// served by another (the daemon), so publish with the usual 0644.
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), out)
 }
 
 // inspectSnapshotCmd implements `maxrank inspect-snapshot`: decode and

@@ -5,8 +5,12 @@
 // named after its basename), each behind a long-lived engine with an
 // optional deduplicating LRU result cache. Snapshots load in O(read) —
 // no index construction — and more can be attached at runtime through
-// POST /v1/datasets. See docs/OPERATIONS.md for the endpoint reference
-// and docs/SNAPSHOTS.md for the snapshot workflow.
+// POST /v1/datasets. Served datasets are mutable at runtime through
+// POST /v1/datasets/{name}/mutate (point inserts/deletes, versioned
+// atomic swap); with -resnapshot each mutated dataset is written back to
+// its .snap in -data-dir so restarts resume from the mutated state. See
+// docs/OPERATIONS.md for the endpoint reference and docs/SNAPSHOTS.md
+// for the snapshot workflow.
 //
 // Usage:
 //
@@ -28,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,15 +44,16 @@ import (
 // config carries the parsed flags; keeping it a plain struct makes the
 // validation rules testable without running main.
 type config struct {
-	dataPath  string
-	gen       string
-	dataDir   string
-	n, dim    int
-	seed      int64
-	normalize bool
-	cacheCap  int
-	parallel  int
-	queryPar  int
+	dataPath   string
+	gen        string
+	dataDir    string
+	n, dim     int
+	seed       int64
+	normalize  bool
+	cacheCap   int
+	parallel   int
+	queryPar   int
+	resnapshot bool
 }
 
 // validate enforces the dataset-source rules up front so a misconfigured
@@ -68,6 +74,9 @@ func (c *config) validate() error {
 	}
 	if c.gen != "" && (c.n <= 0 || c.dim < 2) {
 		return fmt.Errorf("-gen needs -n >= 1 and -dim >= 2 (got n=%d dim=%d)", c.n, c.dim)
+	}
+	if c.resnapshot && c.dataDir == "" {
+		return fmt.Errorf("-resnapshot needs -data-dir (it rewrites <data-dir>/<name>.snap after mutations)")
 	}
 	return nil
 }
@@ -152,6 +161,71 @@ func (c *config) buildRegistry(logger *log.Logger) (*server.Registry, error) {
 	return reg, nil
 }
 
+// snapshotWriter is the -resnapshot write-behind: after every successful
+// mutation it persists the dataset's new version to <data-dir>/<name>.snap
+// through the same atomic temp+rename path as build-snapshot, so a served
+// directory restarts into the mutated state instead of the original one.
+// Writes are serialised, and each hook re-checks the registry before
+// writing: only the hook whose version is still the dataset's *current*
+// version writes, so when quick mutations race the older image can never
+// land on disk last, and a hook outliving its dataset (detached, or
+// detached and re-attached — which restarts the version counter) skips
+// rather than suppressing or clobbering the new lineage's snapshots.
+type snapshotWriter struct {
+	dir    string
+	reg    *server.Registry
+	logger *log.Logger
+	mu     sync.Mutex // serialises the disk writes
+}
+
+func newSnapshotWriter(dir string, reg *server.Registry, logger *log.Logger) *snapshotWriter {
+	return &snapshotWriter{dir: dir, reg: reg, logger: logger}
+}
+
+// hook implements server.WithMutationHook. It runs on the server's hook
+// goroutine — the mutate request has already been answered — and holds the
+// writer lock across the file write, so concurrent mutations re-snapshot
+// one at a time.
+func (w *snapshotWriter) hook(name string, eng *repro.Engine, version uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Write only if this engine still IS the served dataset. Comparing
+	// engine identity (not the version counter) makes the guard
+	// lineage-proof: a detach + re-attach under the same name restarts
+	// the version counter, so a stale hook's number could coincide with
+	// the new lineage's — but never its engine pointer.
+	// The pin is held across the write: a graceful detach (Remove) drains
+	// behind it, so the name cannot normally be detached and re-attached
+	// mid-write and have a stale image land over the new lineage's file.
+	// One residual window matches Remove's documented straggler
+	// semantics: a Remove that *times out* its drain detaches anyway, and
+	// a re-attach then races a still-running write. Operators who detach
+	// with a 504 in hand should let the drain window pass before reusing
+	// the name.
+	cur, release, err := w.reg.Acquire(name)
+	if err != nil {
+		w.logger.Printf("resnapshot %q v%d skipped: %v", name, version, err)
+		return
+	}
+	defer release()
+	if cur != eng {
+		// A newer mutation already swapped in (its own hook, serialised
+		// behind w.mu, writes after us), or the name now serves a
+		// different lineage. Either way this engine no longer represents
+		// the served dataset.
+		w.logger.Printf("resnapshot %q v%d superseded", name, version)
+		return
+	}
+	path := filepath.Join(w.dir, name+".snap")
+	if err := eng.Dataset().WriteSnapshotFile(path); err != nil {
+		w.logger.Printf("resnapshot %q v%d: %v (snapshot on disk is stale until the next mutation)", name, version, err)
+		return
+	}
+	ds := eng.Dataset()
+	w.logger.Printf("resnapshot %q v%d: %d records (fingerprint %s) -> %s",
+		name, version, ds.Len(), ds.Fingerprint(), path)
+}
+
 // buildSingleDataset loads the CSV or generates the synthetic dataset.
 func (c *config) buildSingleDataset() (*repro.Dataset, error) {
 	if c.dataPath != "" {
@@ -185,6 +259,7 @@ func main() {
 	// queries opt in with -query-parallel 0 (= GOMAXPROCS) or an
 	// explicit worker count; see docs/PERFORMANCE.md.
 	flag.IntVar(&cfg.queryPar, "query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
+	flag.BoolVar(&cfg.resnapshot, "resnapshot", false, "write each mutated dataset back to <data-dir>/<name>.snap (with -data-dir)")
 	var (
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
@@ -202,12 +277,16 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	srv, err := server.NewMulti(reg,
+	srvOpts := []server.Option{
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithMaxBatch(*maxBatch),
 		server.WithLogger(logger),
 		server.WithSnapshotLoader(cfg.loadSnapshotEngine),
-	)
+	}
+	if cfg.resnapshot {
+		srvOpts = append(srvOpts, server.WithMutationHook(newSnapshotWriter(cfg.dataDir, reg, logger).hook))
+	}
+	srv, err := server.NewMulti(reg, srvOpts...)
 	if err != nil {
 		logger.Fatal(err)
 	}

@@ -29,6 +29,8 @@ func TestConfigValidation(t *testing.T) {
 		{"data ok", config{dataPath: "x.csv"}, ""},
 		{"gen ok", config{gen: "IND", n: 10, dim: 2}, ""},
 		{"dir ok", config{dataDir: "/d"}, ""},
+		{"resnapshot without dir", config{gen: "IND", n: 10, dim: 2, resnapshot: true}, "-resnapshot needs -data-dir"},
+		{"resnapshot with dir", config{dataDir: "/d", resnapshot: true}, ""},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.validate()

@@ -36,6 +36,7 @@ type Engine struct {
 	parallel      int
 	queryParallel int
 	defaults      []Option
+	cacheCap      int // as configured, so Apply can equip successors alike
 	cache         *cache.Cache[*Result]
 	queries       atomic.Int64
 }
@@ -125,7 +126,7 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if cfg.queryParallel <= 0 {
 		cfg.queryParallel = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{ds: ds, parallel: cfg.parallel, queryParallel: cfg.queryParallel, defaults: cfg.defaults}
+	e := &Engine{ds: ds, parallel: cfg.parallel, queryParallel: cfg.queryParallel, defaults: cfg.defaults, cacheCap: cfg.cacheCapacity}
 	if cfg.cacheCapacity > 0 {
 		e.cache = cache.New[*Result](cfg.cacheCapacity)
 	}
@@ -199,6 +200,13 @@ func (e *Engine) query(ctx context.Context, focalIndex int, opts []Option, worke
 func (e *Engine) QueryPoint(ctx context.Context, record []float64, opts ...Option) (*Result, error) {
 	if len(record) != e.ds.Dim() {
 		return nil, fmt.Errorf("repro: focal has %d attributes, dataset has %d: %w", len(record), e.ds.Dim(), ErrBadQuery)
+	}
+	for i, v := range record {
+		// A non-finite focal would poison score comparisons and LP
+		// feasibility silently; reject it like dataset construction does.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("repro: focal attribute %d is %v; coordinates must be finite: %w", i, v, ErrBadQuery)
+		}
 	}
 	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts, e.queryParallel)
 }
@@ -329,6 +337,12 @@ func (e *Engine) cacheKey(focal vecmath.Point, focalID int64, cfg *queryConfig) 
 	} else {
 		buf := make([]byte, 0, 8*len(focal))
 		for _, v := range focal {
+			if v == 0 {
+				// -0.0 == 0.0 as a coordinate, but their bit patterns
+				// differ; normalise so equal what-if focals share one
+				// cache entry.
+				v = 0
+			}
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 		}
 		b.WriteString("pt:")

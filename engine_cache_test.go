@@ -3,6 +3,7 @@ package repro_test
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -293,5 +294,42 @@ func TestNoCacheByDefault(t *testing.T) {
 	}
 	if s.Queries != 2 {
 		t.Fatalf("Stats.Queries = %d, want 2", s.Queries)
+	}
+}
+
+// TestNegativeZeroFocalSharesCacheEntry: -0.0 and +0.0 are the same
+// coordinate, so what-if queries for the two must collapse to one cache
+// entry (the raw Float64bits of the pair differ; the key normalises).
+func TestNegativeZeroFocalSharesCacheEntry(t *testing.T) {
+	ds := cacheDataset(t)
+	eng, err := repro.NewEngine(ds, repro.WithCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	posZero := []float64{0, 0.5, 0.5}
+	negZero := []float64{math.Copysign(0, -1), 0.5, 0.5}
+	first, err := eng.QueryPoint(ctx, posZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query reported cached")
+	}
+	second, err := eng.QueryPoint(ctx, negZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("-0.0 focal missed the +0.0 cache entry")
+	}
+	st := eng.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	// And the shared answer is the same answer.
+	second.Cached = first.Cached
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached -0.0 answer differs from computed +0.0 answer")
 	}
 }

@@ -36,7 +36,11 @@ func get10k(t testing.TB) (*repro.Dataset, []int) {
 		}
 		cands := make([]cand, s.ds.Len())
 		for i := range cands {
-			p := s.ds.Point(i)
+			p, err := s.ds.Point(i)
+			if err != nil {
+				s.err = err
+				return
+			}
 			cands[i] = cand{i, p[0] + p[1] + p[2]}
 		}
 		sort.Slice(cands, func(a, b int) bool { return cands[a].sum > cands[b].sum })

@@ -97,3 +97,36 @@ func ExampleWithQueryParallelism() {
 	// sequential: k* = 3 in 2 regions
 	// parallel:   k* = 3 in 2 regions, same witnesses: true
 }
+
+// ExampleEngine_Apply mutates the Figure 1 market: the top competitor r1
+// retires and a weak new product launches, so the focal record's best
+// rank improves from 3rd to 2nd in the successor version while the
+// original engine keeps serving the old catalog.
+func ExampleEngine_Apply() {
+	eng, err := repro.NewEngine(figure1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	next, err := eng.Apply(ctx, []repro.Op{
+		repro.DeleteOp(0),                     // r1, the sole dominator, retires
+		repro.InsertOp([]float64{0.30, 0.25}), // a weak newcomer launches
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// p shifted from index 5 to 4 (one lower-indexed record was deleted).
+	res, err := next.Query(ctx, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	old, err := eng.Query(ctx, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new version: %d records, k* = %d\n", next.Dataset().Len(), res.KStar)
+	fmt.Printf("old version still serves: %d records, k* = %d\n", eng.Dataset().Len(), old.KStar)
+	// Output:
+	// new version: 6 records, k* = 2
+	// old version still serves: 6 records, k* = 3
+}

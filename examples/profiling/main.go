@@ -27,8 +27,12 @@ func main() {
 	focal := 0
 	bestSum := -1.0
 	for i := 0; i < ds.Len(); i++ {
+		p, err := ds.Point(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var sum float64
-		for _, v := range ds.Point(i) {
+		for _, v := range p {
 			sum += v
 		}
 		if sum > bestSum {

@@ -109,7 +109,10 @@ func competitiveRecords(ds *repro.Dataset, k int) []int {
 	}
 	cands := make([]cand, ds.Len())
 	for i := 0; i < ds.Len(); i++ {
-		p := ds.Point(i)
+		p, err := ds.Point(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var s float64
 		for _, v := range p {
 			s += v

@@ -25,12 +25,12 @@ func TestTopKMatchesDirectScoring(t *testing.T) {
 		}
 		all := make([]scored, ds.Len())
 		for i := range all {
-			all[i] = scored{i, ds.Score(i, q)}
+			all[i] = scored{i, mustScore(t, ds, i, q)}
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
 		prev := all[0].score + 1
 		for rank, id := range got {
-			s := ds.Score(int(id), q)
+			s := mustScore(t, ds, int(id), q)
 			if s > prev {
 				t.Fatalf("k=%d: results not in descending score order", k)
 			}
@@ -103,7 +103,7 @@ func TestReverseTopK(t *testing.T) {
 		t.Fatal("reverse top-k* empty")
 	}
 	for _, reg := range at {
-		if got := ds.RankOf(ds.Point(focal), reg.QueryVector); got > res.KStar {
+		if got := mustRank(t, ds, mustPoint(t, ds, focal), reg.QueryVector); got > res.KStar {
 			t.Fatalf("witness rank %d > k %d", got, res.KStar)
 		}
 		if reg.Rank > res.KStar {
@@ -152,11 +152,11 @@ func TestReverseTopKMatchesSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := ds.Point(focal)
+	rec := mustPoint(t, ds, focal)
 	for i := 1; i < 200; i++ {
 		q1 := float64(i) / 200
 		q := []float64{q1, 1 - q1}
-		inTopK := ds.RankOf(rec, q) <= k
+		inTopK := mustRank(t, ds, rec, q) <= k
 		covered := false
 		for _, reg := range regions {
 			if q1 > reg.BoxLo[0]+1e-12 && q1 < reg.BoxHi[0]-1e-12 {

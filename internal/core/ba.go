@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/cellenum"
 	"repro/internal/geom"
@@ -39,16 +40,29 @@ func baRun(in Input) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var nInc int64
+	// Collect the incomparable records first and insert them in record-ID
+	// order rather than in R*-tree traversal order: traversal order depends
+	// on the tree's shape (bulk-loaded vs incrementally built or mutated),
+	// and the quad-tree's node numbering — and with it constraint order and
+	// witness choice — follows insertion order. Sorting makes the answer a
+	// pure function of the record set, bit-identical across tree shapes.
+	type incRec struct {
+		p  vecmath.Point
+		id int64
+	}
+	var incs []incRec
 	err = scanIncomparable(ctx, rd, p, in.FocalID, func(r vecmath.Point, id int64) error {
-		nInc++
-		qt.Insert(&quadtree.HalfspaceRef{H: geom.RecordHalfspace(r, p), RecordID: id})
+		incs = append(incs, incRec{p: r, id: id})
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.IncomparableAccessed = nInc
+	sort.Slice(incs, func(i, j int) bool { return incs[i].id < incs[j].id })
+	for _, r := range incs {
+		qt.Insert(&quadtree.HalfspaceRef{H: geom.RecordHalfspace(r.p, p), RecordID: r.id})
+	}
+	res.Stats.IncomparableAccessed = int64(len(incs))
 	res.Stats.HalfspacesInserted = qt.NumHalfspaces()
 
 	minOrder, cells, err := collectCells(ctx, qt, &in, &res.Stats, -1, st, false)

@@ -155,6 +155,9 @@ func fcaRun(in Input) (*Result, error) {
 // outranksAt2D recomputes the set of incomparable records outranking p at
 // a specific q1 (only used when record IDs are requested; it re-scans and
 // therefore costs extra I/O, which is attributed to the query honestly).
+// IDs are returned in ascending order — the scan visits them in R*-tree
+// traversal order, which depends on the tree's shape, and the answer must
+// not.
 func outranksAt2D(ctx context.Context, in *Input, rd rstar.Reader, q1 float64) ([]int64, error) {
 	var ids []int64
 	q := vecmath.Point{q1, 1 - q1}
@@ -168,5 +171,6 @@ func outranksAt2D(ctx context.Context, in *Input, rd rstar.Reader, q1 float64) (
 	if err != nil {
 		return nil, err
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids, nil
 }

@@ -36,10 +36,15 @@ type Stats struct {
 // readers never serialise on each other, and the activity counters are
 // atomics so the hot read path stays contention-free.
 type Store struct {
-	mu       sync.RWMutex // guards pages and next
+	mu       sync.RWMutex // guards pages, next and free
 	pageSize int
 	pages    map[PageID][]byte
 	next     PageID
+	// free holds released page IDs for reuse (LIFO). Without it a store
+	// that cycles through allocations — the R*-tree mutation path splits
+	// and condenses nodes on every insert/delete batch — would grow its ID
+	// space monotonically and never reclaim released slots.
+	free []PageID
 
 	reads  atomic.Int64
 	writes atomic.Int64
@@ -71,11 +76,27 @@ func NewStore(pageSize int) *Store {
 // PageSize returns the configured page size in bytes.
 func (s *Store) PageSize() int { return s.pageSize }
 
-// Alloc reserves a new page and returns its ID.
+// Alloc reserves a page and returns its ID, reusing the most recently
+// freed page when one is available so that alloc/free churn (index
+// mutation) does not grow the ID space without bound.
 func (s *Store) Alloc() PageID {
 	s.mu.Lock()
-	id := s.next
-	s.next++
+	id := NilPage
+	for n := len(s.free); n > 0; n = len(s.free) {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+		if _, taken := s.pages[id]; taken {
+			// The slot was re-occupied out of band (Restore at this ID
+			// after the Free); drop the stale free-list entry.
+			id = NilPage
+			continue
+		}
+		break
+	}
+	if id == NilPage {
+		id = s.next
+		s.next++
+	}
 	s.pages[id] = nil
 	s.mu.Unlock()
 	s.allocs.Add(1)
@@ -179,11 +200,51 @@ func (s *Store) ForEachPage(fn func(id PageID, data []byte) error) error {
 	return nil
 }
 
-// Free releases a page.
+// Free releases a page; its ID becomes available to a later Alloc.
+// Freeing an unallocated page is a no-op (it must not enter the free list
+// twice).
 func (s *Store) Free(id PageID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.pages[id]; !ok {
+		return
+	}
 	delete(s.pages, id)
+	s.free = append(s.free, id)
+}
+
+// FreeLen returns the number of page IDs awaiting reuse.
+func (s *Store) FreeLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.free)
+}
+
+// MaxPageID returns the highest page ID ever allocated (the ID-space
+// extent; NumPages can be smaller when pages were freed).
+func (s *Store) MaxPageID() PageID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.next - 1
+}
+
+// ReclaimGaps rebuilds the free list from the unallocated IDs below the
+// allocation cursor — the restore path's counterpart to Free. A store
+// rebuilt from a page image (Restore preserves IDs, gaps included — the
+// pages a mutated index had freed) would otherwise leak every gap: Alloc
+// could never re-enter them and the ID space would grow monotonically
+// across mutation generations.
+func (s *Store) ReclaimGaps() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.free = s.free[:0]
+	// Descending push order makes Alloc's LIFO pop hand out the lowest
+	// gaps first — deterministic, and it keeps the ID space compact.
+	for id := s.next - 1; id > NilPage; id-- {
+		if _, ok := s.pages[id]; !ok {
+			s.free = append(s.free, id)
+		}
+	}
 }
 
 // Stats returns a snapshot of the counters. Under concurrency the snapshot

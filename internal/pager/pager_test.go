@@ -72,6 +72,75 @@ func TestFree(t *testing.T) {
 	}
 }
 
+func TestFreeListReuse(t *testing.T) {
+	s := NewStore(0)
+	a, b, c := s.Alloc(), s.Alloc(), s.Alloc()
+	s.Free(b)
+	s.Free(c)
+	if got := s.FreeLen(); got != 2 {
+		t.Fatalf("free list holds %d, want 2", got)
+	}
+	// LIFO reuse: the most recently freed ID comes back first, and the ID
+	// space does not grow.
+	if got := s.Alloc(); got != c {
+		t.Fatalf("alloc = %d, want freed %d", got, c)
+	}
+	if got := s.Alloc(); got != b {
+		t.Fatalf("alloc = %d, want freed %d", got, b)
+	}
+	if got := s.MaxPageID(); got != c {
+		t.Fatalf("max page ID %d, want %d (no growth through reuse)", got, c)
+	}
+	if got := s.Alloc(); got != c+1 {
+		t.Fatalf("alloc with empty free list = %d, want %d", got, c+1)
+	}
+	_ = a
+}
+
+func TestFreeListChurnBoundsIDSpace(t *testing.T) {
+	s := NewStore(0)
+	ids := make([]PageID, 0, 8)
+	for i := 0; i < 8; i++ {
+		ids = append(ids, s.Alloc())
+	}
+	for cycle := 0; cycle < 1000; cycle++ {
+		for _, id := range ids {
+			s.Free(id)
+		}
+		ids = ids[:0]
+		for i := 0; i < 8; i++ {
+			ids = append(ids, s.Alloc())
+		}
+	}
+	if got := s.MaxPageID(); got != 8 {
+		t.Fatalf("1000 alloc/free cycles grew the ID space to %d, want 8", got)
+	}
+	if got := s.NumPages(); got != 8 {
+		t.Fatalf("pages = %d, want 8", got)
+	}
+}
+
+func TestFreeDoubleAndRestoreInterplay(t *testing.T) {
+	s := NewStore(0)
+	a := s.Alloc()
+	s.Free(a)
+	s.Free(a) // double free must not enter the list twice
+	if got := s.FreeLen(); got != 1 {
+		t.Fatalf("free list holds %d after double free, want 1", got)
+	}
+	// Restore re-occupies the freed ID out of band; Alloc must skip it.
+	if err := s.Restore(a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Alloc()
+	if b == a {
+		t.Fatalf("alloc handed out restored page %d", a)
+	}
+	if _, err := s.Read(a); err != nil {
+		t.Fatalf("restored page unreadable: %v", err)
+	}
+}
+
 func TestCountingToggleAndReset(t *testing.T) {
 	s := NewStore(0)
 	id := s.Alloc()
@@ -127,5 +196,31 @@ func TestDefaultPageSize(t *testing.T) {
 	}
 	if NewStore(-5).PageSize() != DefaultPageSize {
 		t.Fatal("negative page size not defaulted")
+	}
+}
+
+func TestReclaimGaps(t *testing.T) {
+	s := NewStore(0)
+	// Simulate a restored page image with gaps: pages 2 and 5 were freed
+	// by the source store before its image was copied.
+	for _, id := range []PageID{1, 3, 4, 6} {
+		if err := s.Restore(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.ReclaimGaps()
+	if got := s.FreeLen(); got != 2 {
+		t.Fatalf("free list holds %d, want 2 (gaps 2 and 5)", got)
+	}
+	// Lowest gaps come back first; only after both gaps are used does the
+	// cursor advance.
+	if got := s.Alloc(); got != 2 {
+		t.Fatalf("alloc = %d, want gap 2", got)
+	}
+	if got := s.Alloc(); got != 5 {
+		t.Fatalf("alloc = %d, want gap 5", got)
+	}
+	if got := s.Alloc(); got != 7 {
+		t.Fatalf("alloc = %d, want fresh 7", got)
 	}
 }

@@ -318,3 +318,110 @@ func TestDuplicatePoints(t *testing.T) {
 		t.Fatalf("duplicate count = %d", got)
 	}
 }
+
+// TestMutationChurnReusesPages: sustained insert/delete cycles must not
+// grow the store's page-ID space without bound — freed node pages (splits
+// condensed away, shrunken roots) are recycled by the pager free list.
+func TestMutationChurnReusesPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, store := newTree(t, 3)
+	pts := randomPoints(rng, 500, 3)
+	for i, p := range pts {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	high := store.MaxPageID()
+	for cycle := 0; cycle < 30; cycle++ {
+		for i := 0; i < 100; i++ {
+			ok, err := tree.Delete(pts[i], int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("cycle %d: record %d missing", cycle, i)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if err := tree.Insert(pts[i], int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	if tree.Size() != 500 {
+		t.Fatalf("size = %d, want 500", tree.Size())
+	}
+	// Allow a little headroom over the starting extent (node population
+	// shifts between cycles), but reject unbounded growth: without the
+	// free list 30 cycles leak hundreds of page IDs.
+	if grown := store.MaxPageID() - high; grown > high/2 {
+		t.Fatalf("page-ID space grew by %d over 30 churn cycles (from %d); free list not reusing pages", grown, high)
+	}
+}
+
+// TestRemapRecordIDs: leaf record IDs rewrite in place; a partial cache is
+// rejected.
+func TestRemapRecordIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree, _ := newTree(t, 2)
+	pts := randomPoints(rng, 300, 2)
+	for i, p := range pts {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.RemapRecordIDs(func(id int64) int64 { return id + 1000 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		ok, err := tree.Delete(p, int64(i)+1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("record %d not found under remapped ID", i)
+		}
+		if i >= 10 {
+			break
+		}
+	}
+}
+
+// TestSetDirectMemoryAfterRestore: turning direct memory off on a
+// finalized tree drops the node cache; reads still work via page decode
+// and return identical nodes.
+func TestSetDirectMemoryAfterRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree, _ := newTree(t, 2)
+	pts := randomPoints(rng, 200, 2)
+	for i, p := range pts {
+		if err := tree.Insert(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := tree.ReadNode(tree.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.SetDirectMemory(false)
+	decoded, err := tree.ReadNode(tree.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Level != decoded.Level || len(direct.Entries) != len(decoded.Entries) {
+		t.Fatalf("decoded root differs: level %d/%d entries %d/%d",
+			direct.Level, decoded.Level, len(direct.Entries), len(decoded.Entries))
+	}
+	if decoded == direct {
+		t.Fatal("read after SetDirectMemory(false) still served from cache")
+	}
+}

@@ -513,6 +513,42 @@ func (t *Tree) condense(path []pager.PageID) {
 	}
 }
 
+// RemapRecordIDs rewrites every leaf entry's record ID through fn. It is
+// a mutation-path operation: the whole tree must live in the construction
+// cache (as after New/BulkLoad, or Restore with DirectMemory), and the
+// tree must be Finalized again afterwards. The error reports a cache that
+// does not cover the tree — remapping only part of the records would
+// corrupt the index silently.
+func (t *Tree) RemapRecordIDs(fn func(int64) int64) error {
+	var remapped int64
+	for _, n := range t.cache {
+		if !n.Leaf() {
+			continue
+		}
+		for i := range n.Entries {
+			n.Entries[i].RecordID = fn(n.Entries[i].RecordID)
+		}
+		remapped += int64(len(n.Entries))
+	}
+	if remapped != t.size {
+		return fmt.Errorf("rstar: remap covered %d of %d records (tree not fully cached?)", remapped, t.size)
+	}
+	t.finalized = false
+	return nil
+}
+
+// SetDirectMemory switches query serving between cached nodes and
+// page decode. Turning it off on a finalized tree drops the node cache,
+// so reads decode pages on demand — the disk-resident scenario. Answers
+// and I/O counts are identical either way; only where the decode happens
+// differs.
+func (t *Tree) SetDirectMemory(on bool) {
+	t.direct = on
+	if !on && t.finalized {
+		t.cache = make(map[pager.PageID]*Node)
+	}
+}
+
 // Finalize serialises every cached node to its page. Construction I/O is
 // not counted (the paper measures query-time accesses only).
 func (t *Tree) Finalize() error {

@@ -233,7 +233,20 @@ func entryLess(a, b entry) bool { // true when a has higher priority
 	if a.key != b.key {
 		return a.key > b.key
 	}
-	return a.isNode && !b.isNode
+	if a.isNode != b.isNode {
+		return a.isNode
+	}
+	// Key-tied records (duplicate points, or distinct points with equal
+	// coordinate sums) pop in record-ID order. This makes the surfacing
+	// order a pure function of the record set: two trees holding the same
+	// records — a bulk-loaded index and its incrementally mutated
+	// equivalent — discover their skylines in the same order, which keeps
+	// downstream arrangement geometry (and hence regions and witnesses)
+	// bit-identical across tree shapes.
+	if !a.isNode {
+		return a.rec.ID < b.rec.ID
+	}
+	return false
 }
 
 func (m *Maintainer) push(e entry) {

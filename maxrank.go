@@ -55,6 +55,12 @@ type Dataset struct {
 	quadMaxPartial int
 	quadMaxDepth   int
 
+	// directMemory and pageLatency record the serving scenario the dataset
+	// was configured for, so a mutation (Dataset.Apply) can reproduce it on
+	// the successor dataset.
+	directMemory bool
+	pageLatency  time.Duration
+
 	fpOnce sync.Once
 	fp     string
 }
@@ -136,6 +142,21 @@ func NewDataset(points [][]float64, opts ...DatasetOption) (*Dataset, error) {
 	return buildDataset(pts, cfg)
 }
 
+// checkFinite rejects NaN and ±Inf coordinates. A single NaN silently
+// poisons everything downstream — LP feasibility tests, score ordering,
+// BBS dominance pruning and the dataset fingerprint — so non-finite input
+// must fail at the door, not corrupt answers later.
+func checkFinite(pts []vecmath.Point) error {
+	for i, p := range pts {
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("repro: record %d attribute %d is %v; coordinates must be finite", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
 func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 	// Enforce the persistable range up front: a default outside it would
 	// build a whole index only to fail later at WriteSnapshot with an
@@ -144,6 +165,9 @@ func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 		cfg.quadMaxDepth < 0 || cfg.quadMaxDepth > snapshot.MaxQuadParam {
 		return nil, fmt.Errorf("repro: quad-tree defaults (%d, %d) out of [0, %d]",
 			cfg.quadMaxPartial, cfg.quadMaxDepth, snapshot.MaxQuadParam)
+	}
+	if err := checkFinite(pts); err != nil {
+		return nil, err
 	}
 	store := pager.NewStore(cfg.pageSize)
 	tree, err := rstar.New(store, len(pts[0]), rstar.Options{DirectMemory: cfg.directMemory})
@@ -170,6 +194,8 @@ func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 		store:          store,
 		quadMaxPartial: cfg.quadMaxPartial,
 		quadMaxDepth:   cfg.quadMaxDepth,
+		directMemory:   cfg.directMemory,
+		pageLatency:    cfg.pageLatency,
 	}, nil
 }
 
@@ -196,8 +222,14 @@ func (ds *Dataset) Len() int { return len(ds.points) }
 // Dim returns the record dimensionality.
 func (ds *Dataset) Dim() int { return ds.tree.Dim() }
 
-// Point returns record i (a copy).
-func (ds *Dataset) Point(i int) []float64 { return ds.points[i].Clone() }
+// Point returns record i (a copy). An out-of-range index fails with an
+// ErrBadQuery-wrapped error, like Engine.Query.
+func (ds *Dataset) Point(i int) ([]float64, error) {
+	if i < 0 || i >= len(ds.points) {
+		return nil, fmt.Errorf("repro: record index %d out of range [0,%d): %w", i, len(ds.points), ErrBadQuery)
+	}
+	return ds.points[i].Clone(), nil
+}
 
 // IOReads returns the page reads accumulated since the last reset.
 func (ds *Dataset) IOReads() int64 { return ds.store.Stats().Reads }
@@ -235,14 +267,30 @@ func fingerprintPoints(dim int, pts []vecmath.Point) string {
 }
 
 // Score returns record i's score under the (full, d-dimensional) query
-// vector q.
-func (ds *Dataset) Score(i int, q []float64) float64 {
-	return ds.points[i].Dot(vecmath.Point(q))
+// vector q. An out-of-range index or a query vector of the wrong
+// dimensionality fails with an ErrBadQuery-wrapped error, like
+// Engine.Query.
+func (ds *Dataset) Score(i int, q []float64) (float64, error) {
+	if i < 0 || i >= len(ds.points) {
+		return 0, fmt.Errorf("repro: record index %d out of range [0,%d): %w", i, len(ds.points), ErrBadQuery)
+	}
+	if len(q) != ds.Dim() {
+		return 0, fmt.Errorf("repro: query vector has %d attributes, dataset has %d: %w", len(q), ds.Dim(), ErrBadQuery)
+	}
+	return ds.points[i].Dot(vecmath.Point(q)), nil
 }
 
 // RankOf returns the 1-based rank of a (possibly external) record under q.
-func (ds *Dataset) RankOf(record, q []float64) int {
-	return vecmath.OrderOf(ds.points, vecmath.Point(record), vecmath.Point(q))
+// A record or query vector of the wrong dimensionality fails with an
+// ErrBadQuery-wrapped error, like Engine.Query.
+func (ds *Dataset) RankOf(record, q []float64) (int, error) {
+	if len(record) != ds.Dim() {
+		return 0, fmt.Errorf("repro: record has %d attributes, dataset has %d: %w", len(record), ds.Dim(), ErrBadQuery)
+	}
+	if len(q) != ds.Dim() {
+		return 0, fmt.Errorf("repro: query vector has %d attributes, dataset has %d: %w", len(q), ds.Dim(), ErrBadQuery)
+	}
+	return vecmath.OrderOf(ds.points, vecmath.Point(record), vecmath.Point(q)), nil
 }
 
 // QuadDefaults returns the dataset's default quad-tree partitioning

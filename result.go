@@ -86,6 +86,10 @@ type Stats struct {
 	// CPUTime is the wall-clock time of the computation.
 	CPUTime time.Duration
 	// IO is the number of simulated page accesses attributed to this query.
+	// Like IncomparableAccessed and the LP/leaf counters, it reflects the
+	// physical index layout: datasets holding the same records but indexed
+	// differently (bulk load vs insert build vs incremental mutation via
+	// Dataset.Apply) report different costs for bit-identical answers.
 	IO int64
 	// IncomparableAccessed is n (BA/FCA) or n_a (AA): the incomparable
 	// records the algorithm actually examined.

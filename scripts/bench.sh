@@ -39,8 +39,12 @@ MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "running root benchmarks (Fig8, Fig9, QueryParallelism; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
-go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
+echo "running root benchmarks (Fig8, Fig9, QueryParallelism, Apply; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
+# BenchmarkApply (mutation versions/sec, allocs/op) rides along in the
+# report but is NOT in the committed baseline yet, so bench_compare.sh —
+# which gates only benchmarks common to both reports — records it without
+# gating it.
+go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism|^BenchmarkApply$' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
 echo "running LP micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
 go test -run '^$' -bench 'LPSolve' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/lp >>"$TMP"
 echo "running cell-enumeration micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2

@@ -123,6 +123,9 @@ type StatsResponse struct {
 type DatasetEntry struct {
 	Dataset DatasetStats      `json:"dataset"`
 	Engine  repro.EngineStats `json:"engine"`
+	// Version is the dataset's mutation version (1 at attach, +1 per
+	// successful mutate).
+	Version uint64 `json:"version"`
 }
 
 // DatasetStats describes one served dataset.
@@ -142,6 +145,9 @@ type DatasetInfo struct {
 	Records     int    `json:"records"`
 	Dim         int    `json:"dim"`
 	Fingerprint string `json:"fingerprint"`
+	// Version is the dataset's mutation version (1 at attach, +1 per
+	// successful mutate).
+	Version uint64 `json:"version"`
 }
 
 // DatasetsResponse is the body of GET /v1/datasets, sorted by name.
@@ -155,6 +161,38 @@ type DatasetsResponse struct {
 type AttachRequest struct {
 	Name string `json:"name"`
 	Path string `json:"path"`
+}
+
+// MutateOp is one point mutation of a POST /v1/datasets/{name}/mutate
+// request. Exactly one of Insert and Delete must be set.
+type MutateOp struct {
+	// Insert is a record to add; it must have the dataset's dimensionality
+	// and finite coordinates.
+	Insert []float64 `json:"insert,omitempty"`
+	// Delete is the index of a record to remove. All indexes in a batch
+	// refer to the dataset version being mutated — an op never sees the
+	// effect of an earlier op in the same batch.
+	Delete *int `json:"delete,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/datasets/{name}/mutate. The batch
+// is atomic: one invalid op rejects the whole request and the dataset
+// version is unchanged.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// MutateResponse is the body of a successful mutate: the dataset's new
+// version counter and content fingerprint (the engine's result cache keys
+// on the fingerprint, so the version change also invalidates every cached
+// answer), plus the post-mutation record count and the batch composition.
+type MutateResponse struct {
+	Dataset     string `json:"dataset"`
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Records     int    `json:"records"`
+	Inserted    int    `json:"inserted"`
+	Deleted     int    `json:"deleted"`
 }
 
 // ServerStats reports the HTTP-layer counters.
@@ -259,7 +297,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			UptimeSeconds: time.Since(s.start).Seconds(),
 		},
 	}
-	s.reg.forEach(func(name string, eng *repro.Engine) {
+	s.reg.forEach(func(name string, eng *repro.Engine, version uint64, stats repro.EngineStats) {
 		ds := eng.Dataset()
 		resp.Datasets[name] = DatasetEntry{
 			Dataset: DatasetStats{
@@ -267,7 +305,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Dim:         ds.Dim(),
 				Fingerprint: ds.Fingerprint(),
 			},
-			Engine: eng.Stats(),
+			// Cumulative across versions: mutations swap engines in, but
+			// the counters must not reset with each swap.
+			Engine:  stats,
+			Version: version,
 		}
 	})
 	// The legacy mirror fields reuse the per-dataset entry captured above,
@@ -287,13 +328,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleListDatasets serves GET /v1/datasets.
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	resp := DatasetsResponse{Datasets: []DatasetInfo{}}
-	s.reg.forEach(func(name string, eng *repro.Engine) {
+	s.reg.forEach(func(name string, eng *repro.Engine, version uint64, _ repro.EngineStats) {
 		ds := eng.Dataset()
 		resp.Datasets = append(resp.Datasets, DatasetInfo{
 			Name:        name,
 			Records:     ds.Len(),
 			Dim:         ds.Dim(),
 			Fingerprint: ds.Fingerprint(),
+			Version:     version,
 		})
 	})
 	s.reply(w, http.StatusOK, resp)
@@ -339,6 +381,79 @@ func (s *Server) handleAttachDataset(w http.ResponseWriter, r *http.Request) {
 		Records:     ds.Len(),
 		Dim:         ds.Dim(),
 		Fingerprint: ds.Fingerprint(),
+		Version:     1,
+	})
+}
+
+// handleMutateDataset serves POST /v1/datasets/{name}/mutate: apply a
+// batch of point inserts/deletes to the named dataset, atomically swapping
+// in the successor engine version while queries pinned to the previous
+// version drain against it. Like attach and detach it is gated on
+// WithSnapshotLoader — rewriting the served catalog is at least as
+// destructive as detaching it, so a plain server.New deployment exposes
+// no mutating endpoint at all (the daemon always enables all three).
+// 404 for unknown datasets, 400 for an invalid batch (the dataset is
+// then unchanged).
+func (s *Server) handleMutateDataset(w http.ResponseWriter, r *http.Request) {
+	if s.loader == nil {
+		s.fail(w, http.StatusNotImplemented, fmt.Errorf("dataset administration is not enabled on this server"))
+		return
+	}
+	name := r.PathValue("name")
+	var req MutateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("ops must be non-empty"))
+		return
+	}
+	if len(req.Ops) > s.maxOps {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d ops exceeds the limit of %d", len(req.Ops), s.maxOps))
+		return
+	}
+	ops := make([]repro.Op, 0, len(req.Ops))
+	var inserted, deleted int
+	for i, op := range req.Ops {
+		switch {
+		case len(op.Insert) > 0 && op.Delete == nil:
+			ops = append(ops, repro.InsertOp(op.Insert))
+			inserted++
+		case op.Delete != nil && len(op.Insert) == 0:
+			ops = append(ops, repro.DeleteOp(*op.Delete))
+			deleted++
+		default:
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("op %d: exactly one of insert and delete must be set", i))
+			return
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	eng, version, err := s.reg.Mutate(ctx, name, func(cur *repro.Engine) (*repro.Engine, error) {
+		return cur.Apply(ctx, ops)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDatasetNotFound):
+			s.fail(w, http.StatusNotFound, err)
+		default:
+			s.fail(w, queryStatus(err), err)
+		}
+		return
+	}
+	ds := eng.Dataset()
+	s.logf("server: mutated dataset %q to version %d (%+d/-%d records, now %d, fingerprint %s)",
+		name, version, inserted, deleted, ds.Len(), ds.Fingerprint())
+	if hook := s.mutateHook; hook != nil {
+		s.spawnHook(func() { hook(name, eng, version) })
+	}
+	s.reply(w, http.StatusOK, MutateResponse{
+		Dataset:     name,
+		Version:     version,
+		Fingerprint: ds.Fingerprint(),
+		Records:     ds.Len(),
+		Inserted:    inserted,
+		Deleted:     deleted,
 	})
 }
 

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func intp(v int) *int { return &v }
+
+// withAdminLoader enables the admin-gated endpoints (attach/detach/mutate)
+// with a loader the mutate tests never invoke.
+func withAdminLoader() Option {
+	return WithSnapshotLoader(func(path string) (*repro.Engine, error) {
+		return nil, errors.New("loader unused in this test")
+	})
+}
+
+func TestMutateEndpoint(t *testing.T) {
+	srv := newTestServer(t, withAdminLoader())
+
+	// Baseline: a query and its fingerprint before the mutation.
+	code, body := post(t, srv, "/v1/query", QueryRequest{Focal: intp(3), Tau: 1})
+	if code != http.StatusOK {
+		t.Fatalf("query = %d: %s", code, body)
+	}
+	var before QueryResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st0 StatsResponse
+	if err := json.Unmarshal(body, &st0); err != nil {
+		t.Fatal(err)
+	}
+	fp0 := st0.Dataset.Fingerprint
+	if v := st0.Datasets[DefaultDataset].Version; v != 1 {
+		t.Fatalf("initial version %d, want 1", v)
+	}
+
+	// Mutate: delete one record, insert two strong ones.
+	code, body = post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Delete: intp(0)},
+		{Insert: []float64{0.99, 0.99, 0.99}},
+		{Insert: []float64{0.98, 0.97, 0.96}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate = %d: %s", code, body)
+	}
+	var mr MutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Dataset != DefaultDataset || mr.Version != 2 || mr.Inserted != 2 || mr.Deleted != 1 {
+		t.Fatalf("mutate response %+v, want version 2, +2/-1", mr)
+	}
+	if mr.Records != 401 {
+		t.Fatalf("records %d, want 401", mr.Records)
+	}
+	if mr.Fingerprint == fp0 || mr.Fingerprint == "" {
+		t.Fatalf("fingerprint %q did not change from %q", mr.Fingerprint, fp0)
+	}
+
+	// Stats and listing report the new version and fingerprint.
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st1 StatsResponse
+	if err := json.Unmarshal(body, &st1); err != nil {
+		t.Fatal(err)
+	}
+	entry := st1.Datasets[DefaultDataset]
+	if entry.Version != 2 || entry.Dataset.Fingerprint != mr.Fingerprint || entry.Dataset.Records != 401 {
+		t.Fatalf("stats entry %+v does not reflect the mutation", entry)
+	}
+	// The swapped-in engine starts with a cold cache — the old cached
+	// answers are unreachable by construction.
+	if entry.Engine.CacheSize != 0 {
+		t.Fatalf("successor cache size %d, want 0", entry.Engine.CacheSize)
+	}
+	// But the counters are cumulative across versions: the pre-mutation
+	// query must not vanish from the stats (monotonic for scrapers).
+	if entry.Engine.Queries < st0.Datasets[DefaultDataset].Engine.Queries {
+		t.Fatalf("queries dropped from %d to %d across the swap",
+			st0.Datasets[DefaultDataset].Engine.Queries, entry.Engine.Queries)
+	}
+	if entry.Engine.Queries < 1 {
+		t.Fatalf("cumulative queries %d, want >= 1", entry.Engine.Queries)
+	}
+	code, body = get(t, srv, "/v1/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("datasets = %d", code)
+	}
+	var list DatasetsResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Datasets) != 1 || list.Datasets[0].Version != 2 {
+		t.Fatalf("listing %+v, want sole dataset at version 2", list.Datasets)
+	}
+
+	// The same query now sees the mutated catalog (two records beating
+	// nearly everything were inserted, so focal 3's best rank is worse),
+	// and is not served from the stale cache.
+	code, body = post(t, srv, "/v1/query", QueryRequest{Focal: intp(3), Tau: 1})
+	if code != http.StatusOK {
+		t.Fatalf("query after mutate = %d: %s", code, body)
+	}
+	var after QueryResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("post-mutation query served from the pre-mutation cache")
+	}
+	if after.KStar <= before.KStar {
+		t.Fatalf("k* %d not worsened by two dominating inserts (was %d)", after.KStar, before.KStar)
+	}
+}
+
+func TestMutateRejections(t *testing.T) {
+	srv := newTestServer(t, withAdminLoader())
+	cases := []struct {
+		name string
+		path string
+		req  MutateRequest
+		want int
+	}{
+		{"unknown dataset", "/v1/datasets/nope/mutate", MutateRequest{Ops: []MutateOp{{Delete: intp(0)}}}, http.StatusNotFound},
+		{"empty ops", "/v1/datasets/default/mutate", MutateRequest{}, http.StatusBadRequest},
+		{"both set", "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{Insert: []float64{1, 2, 3}, Delete: intp(0)}}}, http.StatusBadRequest},
+		{"neither set", "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{}}}, http.StatusBadRequest},
+		{"delete out of range", "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{Delete: intp(400)}}}, http.StatusBadRequest},
+		{"duplicate delete", "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{Delete: intp(1)}, {Delete: intp(1)}}}, http.StatusBadRequest},
+		{"wrong dim insert", "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{Insert: []float64{0.5}}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := post(t, srv, tc.path, tc.req)
+		if code != tc.want {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, code, tc.want, body)
+		}
+	}
+	// Non-finite coordinates cannot transit JSON numbers; raw payload.
+	// (json.Marshal would have failed client-side above.)
+	if v, _ := srv.Registry().Version(DefaultDataset); v != 1 {
+		t.Fatalf("version %d after rejected mutations, want 1", v)
+	}
+}
+
+func TestMutateOpsLimit(t *testing.T) {
+	srv := newTestServer(t, withAdminLoader(), WithMaxMutationOps(2))
+	req := MutateRequest{Ops: []MutateOp{
+		{Delete: intp(0)}, {Delete: intp(1)}, {Delete: intp(2)},
+	}}
+	code, body := post(t, srv, "/v1/datasets/default/mutate", req)
+	if code != http.StatusBadRequest {
+		t.Fatalf("3 ops with cap 2 = %d (%s), want 400", code, body)
+	}
+}
+
+// TestMutationHook: the hook fires asynchronously with the successor
+// engine and version of every successful mutation, and not for failures.
+func TestMutationHook(t *testing.T) {
+	type call struct {
+		name    string
+		version uint64
+		records int
+	}
+	calls := make(chan call, 4)
+	srv := newTestServer(t, withAdminLoader(), WithMutationHook(func(name string, eng *repro.Engine, version uint64) {
+		calls <- call{name, version, eng.Dataset().Len()}
+	}))
+	code, body := post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.5, 0.5, 0.5}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate = %d: %s", code, body)
+	}
+	select {
+	case c := <-calls:
+		if c.name != DefaultDataset || c.version != 2 || c.records != 401 {
+			t.Fatalf("hook call %+v, want default/v2/401", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mutation hook never fired")
+	}
+	if code, _ := post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{{Delete: intp(1000)}}}); code != http.StatusBadRequest {
+		t.Fatalf("bad mutate = %d, want 400", code)
+	}
+	select {
+	case c := <-calls:
+		t.Fatalf("hook fired for a failed mutation: %+v", c)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestRegistryMutateSwapUnderLoad hammers one dataset with queries while
+// it is mutated repeatedly: every query must complete against a consistent
+// version (valid focal range, no errors except the focal index racing past
+// a shrink — excluded by querying a low index), and versions advance
+// monotonically. Run with -race this is the swap-correctness test.
+func TestRegistryMutateSwapUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("hotels", newEngine(t, "IND", 300, 3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng, release, err := reg.Acquire("hotels")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				// Low focal: every version keeps well over 100 records.
+				if _, err := eng.Query(ctx, (w*31+i)%100); err != nil {
+					t.Errorf("query: %v", err)
+				}
+				release()
+				queries.Add(1)
+			}
+		}(w)
+	}
+	var lastV uint64
+	for round := 0; round < 8; round++ {
+		ops := []repro.Op{
+			repro.DeleteOp(100 + round),
+			repro.InsertOp([]float64{0.5, 0.4, 0.3}),
+		}
+		eng, v, err := reg.Mutate(ctx, "hotels", func(cur *repro.Engine) (*repro.Engine, error) {
+			return cur.Apply(ctx, ops)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != lastV+1 && lastV != 0 {
+			t.Fatalf("version %d after %d", v, lastV)
+		}
+		lastV = v
+		if eng.Dataset().Len() != 300 {
+			t.Fatalf("round %d: %d records, want 300", round, eng.Dataset().Len())
+		}
+	}
+	// Let the query workers demonstrably make progress across the final
+	// version before stopping (mutation rounds can outpace the first
+	// query completion).
+	deadline := time.Now().Add(10 * time.Second)
+	for queries.Load() < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the swaps")
+	}
+	if v, err := reg.Version("hotels"); err != nil || v != 9 {
+		t.Fatalf("final version %d (%v), want 9", v, err)
+	}
+}
+
+// TestMutateWhileRemove races a slow mutation against Remove: the removal
+// must win (the successor is discarded, Mutate reports not-found), the
+// in-flight queries drain, and the name stops resolving.
+func TestMutateWhileRemove(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add("cars", newEngine(t, "IND", 200, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Pin one query in flight so Remove actually has to drain.
+	_, release, err := reg.Acquire("cars")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutStarted := make(chan struct{})
+	mutDone := make(chan error, 1)
+	proceed := make(chan struct{})
+	go func() {
+		_, _, err := reg.Mutate(ctx, "cars", func(cur *repro.Engine) (*repro.Engine, error) {
+			close(mutStarted)
+			<-proceed // hold the mutation mid-build while Remove runs
+			return cur.Apply(ctx, []repro.Op{repro.InsertOp([]float64{0.1, 0.2, 0.3})})
+		})
+		mutDone <- err
+	}()
+	<-mutStarted
+
+	removeDone := make(chan error, 1)
+	go func() {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		removeDone <- reg.Remove(rctx, "cars")
+	}()
+	// Remove marks the entry removed immediately; the pinned query keeps
+	// it draining until released.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-removeDone:
+		t.Fatalf("Remove returned %v before the pinned query drained", err)
+	default:
+	}
+	release()
+	if err := <-removeDone; err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+
+	close(proceed)
+	if err := <-mutDone; err == nil {
+		t.Fatal("Mutate succeeded on a removed dataset")
+	} else if !errors.Is(err, ErrDatasetNotFound) {
+		t.Fatalf("Mutate error %v, want dataset-not-found", err)
+	}
+	if _, _, err := reg.Acquire("cars"); err == nil {
+		t.Fatal("removed dataset still resolves")
+	}
+}
+
+// TestShutdownWaitsForMutationHook: an acknowledged mutation's
+// write-behind must not be lost to process exit — Shutdown blocks until
+// in-flight hooks return (bounded by its context).
+func TestShutdownWaitsForMutationHook(t *testing.T) {
+	hookDone := make(chan struct{})
+	var finished atomic.Bool
+	srv := newTestServer(t, withAdminLoader(), WithMutationHook(func(string, *repro.Engine, uint64) {
+		time.Sleep(150 * time.Millisecond)
+		finished.Store(true)
+		close(hookDone)
+	}))
+	code, body := post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.4, 0.4, 0.4}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate = %d: %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !finished.Load() {
+		t.Fatal("Shutdown returned before the mutation hook finished")
+	}
+	<-hookDone
+
+	// And a hook outliving the drain window is abandoned with an error,
+	// not awaited forever.
+	stuck := make(chan struct{})
+	srv2 := newTestServer(t, withAdminLoader(), WithMutationHook(func(string, *repro.Engine, uint64) {
+		<-stuck
+	}))
+	if code, body := post(t, srv2, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.4, 0.4, 0.4}},
+	}}); code != http.StatusOK {
+		t.Fatalf("mutate = %d: %s", code, body)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if err := srv2.Shutdown(ctx2); err == nil {
+		t.Fatal("Shutdown did not report the stuck hook")
+	}
+	close(stuck)
+}

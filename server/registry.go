@@ -25,21 +25,65 @@ var ErrDatasetExists = errors.New("server: dataset already registered")
 
 // Registry maps dataset names to engines and tracks the in-flight queries
 // of each, so a dataset can be detached only after the queries it is
-// serving have drained. All methods are safe for concurrent use.
+// serving have drained. Each name serves a *versioned* engine: Mutate
+// atomically swaps in a successor engine (a new dataset version) while
+// queries pinned to the previous version by Acquire drain against it
+// naturally. All methods are safe for concurrent use.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*regEntry
 }
 
-// regEntry pairs an engine with its in-flight accounting.
+// regEntry pairs a name's current engine version with its in-flight
+// accounting. The inflight count spans versions: a query pinned to an old
+// engine still counts, so Remove waits for every query the name is
+// serving, not just those on the latest version.
 type regEntry struct {
 	name string
-	eng  *repro.Engine
+
+	// mutating serialises Mutate calls on this name; held across the
+	// (slow) successor build so concurrent mutations cannot both derive
+	// from the same parent version and silently lose one batch.
+	mutating sync.Mutex
 
 	mu       sync.Mutex
+	eng      *repro.Engine // current version; swapped by Mutate
+	version  uint64        // starts at 1, +1 per successful Mutate
 	inflight int
 	removed  bool
 	drained  chan struct{} // closed when removed && inflight == 0
+
+	// prior accumulates the counters of retired engine versions at each
+	// swap, so the per-dataset stats the serving layer reports stay
+	// cumulative (monotonic) across mutations instead of resetting to the
+	// fresh engine's zeros. Queries still in flight on a retired version
+	// at swap time may go uncounted — a small undercount, never a reset.
+	prior repro.EngineStats
+}
+
+// engine returns the entry's current engine (the mu-guarded pointer).
+func (e *regEntry) engine() (*repro.Engine, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.eng, e.version
+}
+
+// snapshot returns the entry's current engine and version together with
+// the cumulative counters (current engine plus every retired version),
+// all captured under one lock hold so a concurrent Mutate can never pair
+// one version's identity with another version's stats. Cache
+// size/capacity/enabled reflect the current engine only — the retired
+// caches are gone.
+func (e *regEntry) snapshot() (*repro.Engine, uint64, repro.EngineStats) {
+	e.mu.Lock()
+	eng, v, prior := e.eng, e.version, e.prior
+	e.mu.Unlock()
+	s := eng.Stats()
+	s.Queries += prior.Queries
+	s.CacheHits += prior.CacheHits
+	s.CacheMisses += prior.CacheMisses
+	s.CacheEvictions += prior.CacheEvictions
+	return eng, v, s
 }
 
 // NewRegistry creates an empty registry.
@@ -82,14 +126,17 @@ func (r *Registry) Add(name string, eng *repro.Engine) error {
 	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
-	r.entries[name] = &regEntry{name: name, eng: eng, drained: make(chan struct{})}
+	r.entries[name] = &regEntry{name: name, eng: eng, version: 1, drained: make(chan struct{})}
 	return nil
 }
 
-// Acquire resolves a dataset name to its engine and pins it: the returned
-// release function must be called when the query finishes, and a Remove of
-// the dataset waits for every outstanding release. Acquire of a removed or
-// unknown name fails with ErrDatasetNotFound.
+// Acquire resolves a dataset name to its current engine version and pins
+// it: the returned release function must be called when the query
+// finishes, and a Remove of the dataset waits for every outstanding
+// release. The returned engine is the caller's pinned version — a
+// concurrent Mutate swaps the name to a successor without disturbing it,
+// so a query always runs against one consistent dataset. Acquire of a
+// removed or unknown name fails with ErrDatasetNotFound.
 func (r *Registry) Acquire(name string) (*repro.Engine, func(), error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
@@ -103,10 +150,11 @@ func (r *Registry) Acquire(name string) (*repro.Engine, func(), error) {
 		return nil, nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
 	}
 	e.inflight++
+	eng := e.eng
 	e.mu.Unlock()
 	var once sync.Once
 	release := func() { once.Do(e.release) }
-	return e.eng, release, nil
+	return eng, release, nil
 }
 
 // release undoes one Acquire, closing the drain gate when a pending Remove
@@ -151,6 +199,76 @@ func (r *Registry) Remove(ctx context.Context, name string) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: dataset %q detached but still draining: %w", name, ctx.Err())
 	}
+}
+
+// Version returns the dataset's current version counter (1 after Add,
+// +1 per successful Mutate).
+func (r *Registry) Version(name string) (uint64, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	_, v := e.engine()
+	return v, nil
+}
+
+// Mutate replaces a dataset's engine with the successor produced by fn
+// (typically repro.Engine.Apply) and returns the new engine and version.
+// The swap is atomic: requests that Acquire after Mutate returns — and any
+// that race with the swap itself — see either the old version or the new
+// one, never a mix, and queries already pinned to the old version drain
+// against it untouched. Mutations of one name are serialised (two
+// concurrent Mutates cannot both derive from the same parent and lose an
+// update); fn runs without blocking queries or other datasets.
+//
+// When fn fails its error is returned verbatim and the dataset is
+// unchanged. A Remove racing with Mutate wins: the successor is discarded
+// and Mutate reports ErrDatasetNotFound.
+func (r *Registry) Mutate(ctx context.Context, name string, fn func(*repro.Engine) (*repro.Engine, error)) (*repro.Engine, uint64, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	e.mutating.Lock()
+	defer e.mutating.Unlock()
+	e.mu.Lock()
+	if e.removed {
+		e.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	cur := e.eng
+	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	next, err := fn(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	if next == nil {
+		return nil, 0, fmt.Errorf("server: mutation of %q produced a nil engine", name)
+	}
+	// Fold the outgoing version's counters into the entry's running total
+	// before the swap, so reported stats stay monotonic across versions.
+	ps := cur.Stats()
+	e.mu.Lock()
+	if e.removed {
+		e.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %q (removed during mutation)", ErrDatasetNotFound, name)
+	}
+	e.prior.Queries += ps.Queries
+	e.prior.CacheHits += ps.CacheHits
+	e.prior.CacheMisses += ps.CacheMisses
+	e.prior.CacheEvictions += ps.CacheEvictions
+	e.eng = next
+	e.version++
+	v := e.version
+	e.mu.Unlock()
+	return next, v, nil
 }
 
 // Names returns the registered dataset names, sorted.
@@ -203,8 +321,10 @@ func (r *Registry) resolve(name string) (*repro.Engine, string, func(), error) {
 }
 
 // forEach snapshots the current entries (sorted by name) and applies fn to
-// each without holding the registry lock.
-func (r *Registry) forEach(fn func(name string, eng *repro.Engine)) {
+// each entry's current engine version without holding the registry lock.
+// stats carries the entry's cumulative counters (current version plus
+// every retired one).
+func (r *Registry) forEach(fn func(name string, eng *repro.Engine, version uint64, stats repro.EngineStats)) {
 	r.mu.RLock()
 	entries := make([]*regEntry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -213,6 +333,7 @@ func (r *Registry) forEach(fn func(name string, eng *repro.Engine)) {
 	r.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	for _, e := range entries {
-		fn(e.name, e.eng)
+		eng, v, stats := e.snapshot()
+		fn(e.name, eng, v, stats)
 	}
 }

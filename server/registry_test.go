@@ -369,6 +369,15 @@ func TestAdminEndpointsWithoutLoaderAre501(t *testing.T) {
 	} else {
 		release()
 	}
+	// Mutate is gated identically: rewriting the served catalog is at
+	// least as destructive as detaching it.
+	code, _ = post(t, srv, "/v1/datasets/hotels/mutate", MutateRequest{Ops: []MutateOp{{Insert: []float64{0.5, 0.5, 0.5}}}})
+	if code != http.StatusNotImplemented {
+		t.Fatalf("mutate without loader = %d, want 501", code)
+	}
+	if v, err := srv.Registry().Version("hotels"); err != nil || v != 1 {
+		t.Fatalf("dataset version %d (%v) despite 501, want 1", v, err)
+	}
 }
 
 // TestConcurrentMultiDatasetServing hammers two datasets from many

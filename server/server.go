@@ -6,14 +6,15 @@
 //
 // Endpoints:
 //
-//	POST   /v1/query            one MaxRank / iMaxRank query (in-dataset or what-if focal)
-//	POST   /v1/batch            many queries on the engine's worker pool
-//	GET    /v1/datasets         served datasets: names, fingerprints, point counts
-//	POST   /v1/datasets         attach a dataset from an index snapshot (admin)
-//	DELETE /v1/datasets/{name}  detach a dataset, draining its in-flight queries (admin)
-//	GET    /v1/stats            per-dataset, engine/cache and server counters
-//	GET    /healthz             liveness probe
-//	GET    /debug/vars          expvar metrics (Go runtime + maxrank counters)
+//	POST   /v1/query                   one MaxRank / iMaxRank query (in-dataset or what-if focal)
+//	POST   /v1/batch                   many queries on the engine's worker pool
+//	GET    /v1/datasets                served datasets: names, versions, fingerprints, point counts
+//	POST   /v1/datasets                attach a dataset from an index snapshot (admin)
+//	DELETE /v1/datasets/{name}         detach a dataset, draining its in-flight queries (admin)
+//	POST   /v1/datasets/{name}/mutate  apply point inserts/deletes, swapping in a new dataset version
+//	GET    /v1/stats                   per-dataset, engine/cache and server counters
+//	GET    /healthz                    liveness probe
+//	GET    /debug/vars                 expvar metrics (Go runtime + maxrank counters)
 //
 // Query and batch requests address a dataset with their "dataset" field;
 // when omitted, the sole served dataset (or the one named "default") is
@@ -45,18 +46,27 @@ import (
 // http.Handler, so it can be mounted under a larger mux or driven by
 // httptest.
 type Server struct {
-	reg      *Registry
-	loader   func(path string) (*repro.Engine, error)
-	mux      *http.ServeMux
-	timeout  time.Duration
-	maxBatch int
-	maxBody  int64
-	logger   *log.Logger
-	start    time.Time
+	reg        *Registry
+	loader     func(path string) (*repro.Engine, error)
+	mutateHook func(name string, eng *repro.Engine, version uint64)
+	mux        *http.ServeMux
+	timeout    time.Duration
+	maxBatch   int
+	maxOps     int
+	maxBody    int64
+	logger     *log.Logger
+	start      time.Time
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 	closed  bool // Shutdown was called; Serve must not (re)start
+
+	// hooks tracks in-flight mutation-hook goroutines so Shutdown can wait
+	// for them: an acknowledged mutation's write-behind (-resnapshot) must
+	// not be lost to a race with process exit. Spawns are gated on
+	// `closed` under httpMu (see spawnHook), so hooks.Add can never race
+	// hooks.Wait — the misuse the WaitGroup contract forbids.
+	hooks sync.WaitGroup
 
 	requests atomic.Int64 // all requests routed to a handler
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
@@ -98,6 +108,25 @@ func WithSnapshotLoader(load func(path string) (*repro.Engine, error)) Option {
 	return func(s *Server) { s.loader = load }
 }
 
+// WithMaxMutationOps caps the ops accepted by one POST
+// /v1/datasets/{name}/mutate request (default 4096).
+func WithMaxMutationOps(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxOps = n
+		}
+	}
+}
+
+// WithMutationHook registers a callback invoked after every successful
+// dataset mutation, with the dataset's name, its new engine and its new
+// version counter. The hook runs on its own goroutine (the mutate request
+// does not wait for it); maxrankd uses it for the -resnapshot
+// write-behind. A nil hook (the default) disables the callback.
+func WithMutationHook(hook func(name string, eng *repro.Engine, version uint64)) Option {
+	return func(s *Server) { s.mutateHook = hook }
+}
+
 // New builds a Server over one engine, registered under the name
 // "default". It is the single-dataset convenience constructor; see
 // NewMulti for serving several datasets.
@@ -124,6 +153,7 @@ func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
 		reg:      reg,
 		timeout:  30 * time.Second,
 		maxBatch: 1024,
+		maxOps:   4096,
 		maxBody:  1 << 20,
 		logger:   log.Default(),
 		start:    time.Now(),
@@ -137,6 +167,7 @@ func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleAttachDataset)
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDetachDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/mutate", s.handleMutateDataset)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -206,7 +237,8 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown gracefully stops a Serve/ListenAndServe in progress: the
-// listener closes immediately and in-flight requests get until ctx's
+// listener closes immediately and in-flight requests — and any mutation
+// hooks still running (the -resnapshot write-behind) — get until ctx's
 // deadline to finish. Calling Shutdown before Serve is safe and makes a
 // later Serve return immediately, so a signal that lands during process
 // start cannot leave an unstoppable server behind.
@@ -215,10 +247,51 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	srv := s.httpSrv
 	s.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	if werr := s.waitHooks(ctx); err == nil {
+		err = werr
+	}
+	return err
+}
+
+// spawnHook runs fn on a tracked goroutine — unless Shutdown has begun,
+// in which case fn runs inline on the handler's goroutine: the handler is
+// itself being drained by http.Server.Shutdown, so the hook still cannot
+// be lost, and no hooks.Add happens concurrently with waitHooks' Wait.
+func (s *Server) spawnHook(fn func()) {
+	s.httpMu.Lock()
+	if s.closed {
+		s.httpMu.Unlock()
+		fn()
+		return
+	}
+	s.hooks.Add(1)
+	s.httpMu.Unlock()
+	go func() {
+		defer s.hooks.Done()
+		fn()
+	}()
+}
+
+// waitHooks blocks until every spawned mutation hook returned or ctx
+// expired (abandoned hooks are reported, not awaited forever). It runs
+// only after `closed` is set, so no new hooks can be added while it
+// waits.
+func (s *Server) waitHooks(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.hooks.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: mutation hooks still running at shutdown: %w", ctx.Err())
+	}
 }
 
 // logf logs through the configured logger, if any.
@@ -253,8 +326,11 @@ func publishExpvar(s *Server) {
 		sum := func(get func(repro.EngineStats) int64) func(*Server) int64 {
 			return func(t *Server) int64 {
 				var total int64
-				t.reg.forEach(func(_ string, eng *repro.Engine) {
-					total += get(eng.Stats())
+				// Cumulative per-entry stats keep the sums monotonic
+				// across dataset mutations (a swapped-in engine starts
+				// at zero; retired versions' counts carry forward).
+				t.reg.forEach(func(_ string, _ *repro.Engine, _ uint64, stats repro.EngineStats) {
+					total += get(stats)
 				})
 				return total
 			}

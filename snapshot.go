@@ -3,6 +3,8 @@ package repro
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/pager"
@@ -90,12 +92,23 @@ func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: points hash to %s, snapshot records %s",
 			ErrSnapshotMismatch, fp, snap.Fingerprint)
 	}
+	// Non-finite coordinates are rejected here exactly as NewDataset
+	// rejects them: a hand-crafted (or pre-validation-era) snapshot must
+	// not smuggle NaN/Inf past the construction-time check and poison
+	// query answers silently.
+	if err := checkFinite(pts); err != nil {
+		return nil, err
+	}
 	store := pager.NewStore(snap.PageSize)
 	for _, p := range snap.Pages {
 		if err := store.Restore(pager.PageID(p.ID), p.Data); err != nil {
 			return nil, err
 		}
 	}
+	// Snapshots written from mutated datasets can carry page-ID gaps;
+	// reclaim them so later mutations of the loaded dataset reuse the
+	// slots instead of growing the ID space.
+	store.ReclaimGaps()
 	tree, err := rstar.Restore(store, snap.Dim, pager.PageID(snap.Root), snap.Height, int64(snap.Count),
 		rstar.Options{DirectMemory: cfg.directMemory})
 	if err != nil {
@@ -109,7 +122,34 @@ func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
 		store:          store,
 		quadMaxPartial: snap.QuadMaxPartial,
 		quadMaxDepth:   snap.QuadMaxDepth,
+		directMemory:   cfg.directMemory,
+		pageLatency:    cfg.pageLatency,
 	}, nil
+}
+
+// WriteSnapshotFile persists the dataset to path atomically: the snapshot
+// is written to a temp file in the target directory, made world-readable
+// (snapshots are typically built by one user and served by another) and
+// renamed into place, so a crash mid-write never leaves a half-snapshot
+// under the target name. It is the write path of maxrank build-snapshot
+// and of maxrankd's -resnapshot write-behind.
+func (ds *Dataset) WriteSnapshotFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ds.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // ErrSnapshotMismatch marks a structurally valid snapshot whose recorded

@@ -3,8 +3,12 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -286,5 +290,44 @@ func TestLoadSnapshotWithoutDirectMemory(t *testing.T) {
 	}
 	if !reflect.DeepEqual(stripTiming(a), stripTiming(b)) {
 		t.Fatal("results differ when the loaded index decodes pages on demand")
+	}
+}
+
+// TestLoadSnapshotRejectsNonFinite: a snapshot whose points contain
+// NaN/Inf — hand-crafted, or written before construction-time validation
+// existed — must fail to load, not poison query answers silently. The
+// crafted file carries the *correct* fingerprint of its poisoned points,
+// so only the finiteness check can stop it.
+func TestLoadSnapshotRejectsNonFinite(t *testing.T) {
+	ds := genDS(t, "IND", 50, 3)
+	var buf bytes.Buffer
+	if err := ds.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, poison := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		snap.Points[7] = poison
+		// Recompute the digest over the poisoned points (same format as
+		// Dataset.Fingerprint: sha256 of dim + row-major coordinate bits,
+		// first 16 bytes hex).
+		h := sha256.New()
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(snap.Dim))
+		h.Write(w[:])
+		for _, v := range snap.Points {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			h.Write(w[:])
+		}
+		snap.Fingerprint = hex.EncodeToString(h.Sum(nil)[:16])
+		var poisoned bytes.Buffer
+		if err := snapshot.Write(&poisoned, snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := repro.LoadSnapshot(bytes.NewReader(poisoned.Bytes())); err == nil {
+			t.Fatalf("snapshot with %v coordinate loaded", poison)
+		}
 	}
 }
