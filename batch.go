@@ -1,0 +1,408 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+	"repro/internal/vecmath"
+)
+
+// Focal names one query of a shared group: either a dataset record by
+// index or a what-if record by coordinates. A non-nil Point takes
+// precedence over Index.
+type Focal struct {
+	Index int
+	Point []float64
+}
+
+// GroupResult pairs one group member's result with its error; exactly one
+// of the two is set.
+type GroupResult struct {
+	Result *Result
+	Err    error
+}
+
+// WithBatchSharing turns on shared-arrangement batch execution: QueryBatch
+// groups its focals by proximity and each group pays the dominance
+// classification once instead of once per query (the per-focal refinement
+// still runs per query: half-space geometry depends on exact focal
+// coordinates). How much is shared tracks the algorithm: BA and FCA get
+// the full incomparable-set partition that seeds their arrangement
+// construction, while the lazily-expanding AA/AA2D share only the
+// dominator count so their BBS skyline keeps reading just n_a records
+// (see core.BuildGroupPrefix). Results are bit-identical to independent
+// execution at any group size; the Stats fields that legitimately differ
+// (IO charges the shared scan once per member, IncomparableAccessed under
+// a materialised prefix, the scheduling-dependent work counters) are
+// documented on Result. The default is off; QueryGroup shares regardless
+// of this option.
+func WithBatchSharing(on bool) EngineOption {
+	return func(c *engineConfig) { c.batchShare = on }
+}
+
+// BatchSharing reports whether the engine runs QueryBatch with shared
+// group prefixes.
+func (e *Engine) BatchSharing() bool { return e.batchShare }
+
+// QueryGroup runs a set of queries as one shared batch: focals are
+// grouped by proximity, each group pays its dominance-classification
+// prefix once, and every member refines independently. Unlike QueryBatch,
+// errors are reported per member (a bad focal does not fail its
+// neighbours) and what-if focals mix freely with dataset indexes. The
+// result slice is parallel to focals. Cancellation of ctx aborts all
+// outstanding members.
+func (e *Engine) QueryGroup(ctx context.Context, focals []Focal, opts ...Option) []GroupResult {
+	results, errs := e.runShared(ctx, focals, opts, false)
+	out := make([]GroupResult, len(focals))
+	for i := range out {
+		out[i] = GroupResult{Result: results[i], Err: errs[i]}
+	}
+	return out
+}
+
+// queryBatchShared is QueryBatch's execution path under WithBatchSharing:
+// same contract (input-order results, first error wins and aborts the
+// rest), shared-prefix execution underneath.
+func (e *Engine) queryBatchShared(ctx context.Context, focalIndexes []int, opts []Option) ([]*Result, error) {
+	focals := make([]Focal, len(focalIndexes))
+	for i, idx := range focalIndexes {
+		focals[i] = Focal{Index: idx}
+	}
+	results, errs := e.runShared(ctx, focals, opts, true)
+	// Prefer the member error that caused the abort over the cancellations
+	// it induced in the rest of the batch (matching the independent path,
+	// which reports the first real failure).
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("repro: batch query for focal %d: %w", focalIndexes[i], err)
+		if !errors.Is(err, context.Canceled) {
+			return nil, wrapped
+		}
+		if firstErr == nil {
+			firstErr = wrapped
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// pendingQuery is one unique (by cache key) query of a shared run and the
+// input slots its result fans out to.
+type pendingQuery struct {
+	focal   vecmath.Point
+	focalID int64
+	key     string
+	slots   []int
+	res     *Result
+	err     error
+}
+
+// runShared executes a set of focals with shared group prefixes. Per-slot
+// results and errors are parallel to focals. failFast makes the first
+// error cancel outstanding groups (QueryBatch semantics); without it every
+// member runs to completion (QueryGroup semantics).
+func (e *Engine) runShared(ctx context.Context, focals []Focal, opts []Option, failFast bool) ([]*Result, []error) {
+	n := len(focals)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := queryConfig{}
+	for _, o := range e.defaults {
+		o(&cfg)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.quadMaxPartial == 0 {
+		cfg.quadMaxPartial = e.ds.quadMaxPartial
+	}
+	if cfg.quadMaxDepth == 0 {
+		cfg.quadMaxDepth = e.ds.quadMaxDepth
+	}
+	strat, serr := cfg.alg.strategy()
+	if serr == nil {
+		if d := e.ds.Dim(); !strat.SupportsDim(d) {
+			serr = fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.alg.resolved(), d, ErrBadQuery)
+		}
+	}
+
+	// Validate, consult the cache, and dedupe identical queries. The shared
+	// path uses the cache's peek/add surface rather than Do's singleflight:
+	// in-batch duplicates collapse here, and the serving layer's coalescing
+	// window collapses concurrent identical requests before they reach the
+	// engine.
+	var queue []*pendingQuery
+	byKey := make(map[string]*pendingQuery)
+	for i, f := range focals {
+		e.queries.Add(1)
+		if serr != nil {
+			errs[i] = serr
+			continue
+		}
+		focal, focalID, err := e.resolveFocal(f)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		key := e.cacheKey(focal, focalID, &cfg)
+		if e.cache != nil {
+			if res, ok := e.cache.Get(key); ok {
+				cp := *res
+				cp.Cached = true
+				results[i] = &cp
+				continue
+			}
+		}
+		if p, ok := byKey[key]; ok {
+			p.slots = append(p.slots, i)
+			continue
+		}
+		p := &pendingQuery{focal: focal, focalID: focalID, key: key, slots: []int{i}}
+		byKey[key] = p
+		queue = append(queue, p)
+	}
+	if len(queue) == 0 {
+		return results, errs
+	}
+	if failFast {
+		for _, err := range errs {
+			if err != nil {
+				// QueryBatch fails on the first error anyway; don't compute
+				// work whose results the caller will discard.
+				return results, errs
+			}
+		}
+	}
+
+	dsLo, dsHi := e.sharedGroupBounds()
+	groups := groupByProximity(queue, dsLo, dsHi)
+	workers := e.parallel
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Shared-prefix groups claim the batch's worker budget: the intra-query
+	// budget is divided by the group workers actually running, exactly as
+	// the independent QueryBatch path divides it, so sharing composes with
+	// intra-query parallelism instead of multiplying it.
+	perQuery := e.queryParallel / workers
+	if perQuery < 1 {
+		perQuery = 1
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(groups) || gctx.Err() != nil {
+					return
+				}
+				if e.runSharedGroup(gctx, groups[gi], &cfg, strat, perQuery) && failFast {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, p := range queue {
+		if p.err == nil && p.res == nil {
+			// The worker loop stopped before reaching this query: either the
+			// caller's ctx was cancelled or failFast aborted after another
+			// member's error.
+			if p.err = ctx.Err(); p.err == nil {
+				p.err = context.Canceled
+			}
+		}
+		if p.err != nil {
+			for _, slot := range p.slots {
+				errs[slot] = p.err
+			}
+			continue
+		}
+		if e.cache != nil {
+			e.cache.Add(p.key, p.res)
+		}
+		for si, slot := range p.slots {
+			cp := *p.res
+			// In-batch duplicates share one computation; mark the joiners
+			// Cached like singleflight joiners of the independent path.
+			cp.Cached = e.cache != nil && si > 0
+			results[slot] = &cp
+		}
+	}
+	return results, errs
+}
+
+// resolveFocal turns a Focal into the (point, id) pair the core layer
+// expects, applying the same validation as Query / QueryPoint.
+func (e *Engine) resolveFocal(f Focal) (vecmath.Point, int64, error) {
+	if f.Point != nil {
+		if len(f.Point) != e.ds.Dim() {
+			return nil, 0, fmt.Errorf("repro: focal has %d attributes, dataset has %d: %w", len(f.Point), e.ds.Dim(), ErrBadQuery)
+		}
+		for i, v := range f.Point {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("repro: focal attribute %d is %v; coordinates must be finite: %w", i, v, ErrBadQuery)
+			}
+		}
+		return vecmath.Point(f.Point).Clone(), -1, nil
+	}
+	if f.Index < 0 || f.Index >= len(e.ds.points) {
+		return nil, 0, fmt.Errorf("repro: focal index %d out of range [0,%d): %w", f.Index, len(e.ds.points), ErrBadQuery)
+	}
+	return e.ds.points[f.Index], int64(f.Index), nil
+}
+
+// shareGridDiv is the number of grid divisions per axis the grouping pass
+// quantises focals into, over the dataset's bounding box. The grid is at
+// dataset scale — not the batch's own extent — so whether focals share is
+// decided by how clustered they are relative to the data, which is what
+// makes a shared classification conclusive: a batch of tightly clustered
+// focals lands in one cell no matter how small its own bounding box is,
+// while uniform focals scatter into near-singletons, which cost no more
+// than independent runs. 4 per axis keeps group boxes at a quarter of the
+// data's spread, loose enough to merge realistic bursts and tight enough
+// that most records classify conclusively against the group box.
+const shareGridDiv = 4
+
+// sharedGroupBounds returns the dataset's bounding box, computed once per
+// engine (the grouping grid is fixed for the engine's lifetime).
+func (e *Engine) sharedGroupBounds() (vecmath.Point, vecmath.Point) {
+	e.boundsOnce.Do(func() {
+		pts := e.ds.points
+		lo := pts[0].Clone()
+		hi := pts[0].Clone()
+		for _, p := range pts[1:] {
+			for k, v := range p {
+				if v < lo[k] {
+					lo[k] = v
+				}
+				if v > hi[k] {
+					hi[k] = v
+				}
+			}
+		}
+		e.dsLo, e.dsHi = lo, hi
+	})
+	return e.dsLo, e.dsHi
+}
+
+// groupByProximity buckets the unique queries of a shared run by a grid
+// of shareGridDiv cells per axis over [lo, hi] (the dataset's bounding
+// box; what-if focals outside it clamp to the border cells). Group order
+// and membership order are deterministic (first-seen), so the engine's
+// work — and with it the scheduling-dependent Stats counters at
+// workers = 1 — is reproducible.
+func groupByProximity(queue []*pendingQuery, lo, hi vecmath.Point) [][]*pendingQuery {
+	if len(queue) == 1 {
+		return [][]*pendingQuery{queue}
+	}
+	dim := len(queue[0].focal)
+	var sb strings.Builder
+	byCell := make(map[string]int)
+	var groups [][]*pendingQuery
+	for _, p := range queue {
+		sb.Reset()
+		for k := 0; k < dim; k++ {
+			span := hi[k] - lo[k]
+			cell := 0
+			if span > 0 {
+				cell = int((p.focal[k] - lo[k]) / span * shareGridDiv)
+				if cell < 0 {
+					cell = 0
+				}
+				if cell >= shareGridDiv {
+					cell = shareGridDiv - 1
+				}
+			}
+			sb.WriteString(strconv.Itoa(cell))
+			sb.WriteByte(',')
+		}
+		key := sb.String()
+		gi, ok := byCell[key]
+		if !ok {
+			gi = len(groups)
+			byCell[key] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], p)
+	}
+	return groups
+}
+
+// runSharedGroup executes one proximity group: singletons run the plain
+// independent path (nothing to share); larger groups build the shared
+// prefix once and refine each member against its view. It reports whether
+// any member failed.
+func (e *Engine) runSharedGroup(ctx context.Context, group []*pendingQuery, cfg *queryConfig, strat core.Algorithm, workers int) bool {
+	if len(group) == 1 {
+		p := group[0]
+		p.res, p.err = e.compute(ctx, p.focal, p.focalID, cfg, workers)
+		return p.err != nil
+	}
+	focals := make([]vecmath.Point, len(group))
+	for i, p := range group {
+		focals[i] = p.focal
+	}
+	// BA and FCA scan the full incomparable set per query, so the prefix
+	// materialises it (full mode). AA and its d = 2 specialisation expand
+	// the skyline lazily from the tree — for them only the dominator count
+	// is shared (light mode), which keeps the lazy expansion intact.
+	materialize := cfg.alg.resolved() != AA
+	prefix, err := core.BuildGroupPrefix(ctx, e.ds.tree, focals, materialize)
+	if err != nil {
+		for _, p := range group {
+			p.err = err
+		}
+		return true
+	}
+	failed := false
+	for i, p := range group {
+		tracker := new(pager.Tracker)
+		in := e.ds.internalInput(p.focal, p.focalID, cfg)
+		in.Ctx = ctx
+		in.IO = tracker
+		in.Workers = workers
+		in.Shared = prefix.Focal(i)
+		res, err := strat.Run(in)
+		if err != nil {
+			p.err = err
+			failed = true
+			continue
+		}
+		p.res = convertResult(res, cfg.alg.resolved())
+	}
+	return failed
+}

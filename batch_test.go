@@ -1,0 +1,289 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+// normalizeShared strips the fields the batch-sharing contract allows to
+// differ from independent execution (see Result.Stats and WithBatchSharing):
+// everything left must be bit-identical.
+func normalizeShared(res *repro.Result) *repro.Result {
+	cp := *res
+	cp.Cached = false
+	cp.Stats.CPUTime = 0
+	cp.Stats.IO = 0
+	cp.Stats.IncomparableAccessed = 0
+	cp.Stats.LPCalls = 0
+	cp.Stats.LeavesProcessed = 0
+	cp.Stats.LeavesPruned = 0
+	return &cp
+}
+
+// clusteredFocals returns the m dataset indexes nearest (L2) to record
+// `around` — a worst-case-friendly clustered focal group.
+func clusteredFocals(t testing.TB, ds *repro.Dataset, around, m int) []int {
+	t.Helper()
+	center, err := ds.Point(around)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, ds.Len())
+	for i := range cands {
+		p, err := ds.Point(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d float64
+		for k, v := range p {
+			dv := v - center[k]
+			d += dv * dv
+		}
+		cands[i] = cand{idx: i, d: d}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	out := make([]int, m)
+	for i := range out {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// TestBatchSharingBitIdentical is the engine-level acceptance check: with
+// WithBatchSharing on, QueryBatch must return exactly the answers of the
+// independent path — for tight clusters, scattered focals, duplicates,
+// several algorithms and τ values. Run under -race in CI.
+func TestBatchSharingBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		dist string
+		dim  int
+		alg  repro.Algorithm
+		n    int
+	}{
+		{"IND", 3, repro.Auto, 800},
+		{"IND", 3, repro.BA, 300}, // BA materialises every incomparable half-space: keep n small
+		{"ANTI", 2, repro.Auto, 400},
+		{"COR", 2, repro.FCA, 700},
+	} {
+		ds, err := repro.GenerateDataset(tc.dist, tc.n, tc.dim, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := repro.NewEngine(ds, repro.WithParallelism(3), repro.WithQueryParallelism(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := repro.NewEngine(ds, repro.WithParallelism(3), repro.WithQueryParallelism(2), repro.WithBatchSharing(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !shared.BatchSharing() || plain.BatchSharing() {
+			t.Fatal("BatchSharing accessor does not reflect configuration")
+		}
+		cluster := clusteredFocals(t, ds, 17, 12)
+		scattered := make([]int, 10)
+		for i := range scattered {
+			scattered[i] = (i * 73) % ds.Len()
+		}
+		mixed := append(append([]int{}, cluster[:8]...), scattered...)
+		mixed = append(mixed, cluster[0]) // duplicate focal in one batch
+		for _, focals := range [][]int{cluster, scattered, mixed} {
+			for _, tau := range []int{0, 2} {
+				opts := []repro.Option{repro.WithAlgorithm(tc.alg), repro.WithTau(tau), repro.WithOutrankIDs(true)}
+				want, err := plain.QueryBatch(context.Background(), focals, opts...)
+				if err != nil {
+					t.Fatalf("%s/d%d/%v tau=%d independent: %v", tc.dist, tc.dim, tc.alg, tau, err)
+				}
+				got, err := shared.QueryBatch(context.Background(), focals, opts...)
+				if err != nil {
+					t.Fatalf("%s/d%d/%v tau=%d shared: %v", tc.dist, tc.dim, tc.alg, tau, err)
+				}
+				for i := range focals {
+					if !reflect.DeepEqual(normalizeShared(want[i]), normalizeShared(got[i])) {
+						t.Errorf("%s/d%d/%v tau=%d focal %d: shared batch result differs from independent",
+							tc.dist, tc.dim, tc.alg, tau, focals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryGroupMatchesIndependent covers QueryGroup's mixed focal forms:
+// dataset indexes and what-if points in one group, each bit-identical to
+// its direct Query / QueryPoint counterpart.
+func TestQueryGroupMatchesIndependent(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 800, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focals := []repro.Focal{
+		{Index: 12},
+		{Point: []float64{0.41, 0.52, 0.63}},
+		{Index: 13},
+		{Point: []float64{0.42, 0.51, 0.64}},
+	}
+	out := eng.QueryGroup(context.Background(), focals, repro.WithTau(1), repro.WithOutrankIDs(true))
+	if len(out) != len(focals) {
+		t.Fatalf("QueryGroup returned %d results for %d focals", len(out), len(focals))
+	}
+	for i, f := range focals {
+		if out[i].Err != nil {
+			t.Fatalf("member %d: %v", i, out[i].Err)
+		}
+		var want *repro.Result
+		if f.Point != nil {
+			want, err = eng.QueryPoint(context.Background(), f.Point, repro.WithTau(1), repro.WithOutrankIDs(true))
+		} else {
+			want, err = eng.Query(context.Background(), f.Index, repro.WithTau(1), repro.WithOutrankIDs(true))
+		}
+		if err != nil {
+			t.Fatalf("independent member %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeShared(want), normalizeShared(out[i].Result)) {
+			t.Errorf("member %d: QueryGroup result differs from independent", i)
+		}
+	}
+}
+
+// TestQueryGroupPerItemErrors: a bad member fails alone; its neighbours'
+// results are intact (the isolation QueryBatch deliberately does not give).
+func TestQueryGroupPerItemErrors(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 300, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.QueryGroup(context.Background(), []repro.Focal{
+		{Index: 5},
+		{Index: ds.Len() + 7},                    // out of range
+		{Point: []float64{0.5, math.NaN(), 0.5}}, // non-finite what-if
+		{Point: []float64{0.5, 0.5}},             // wrong dimensionality
+		{Index: 6},
+	})
+	for _, i := range []int{1, 2, 3} {
+		if !errors.Is(out[i].Err, repro.ErrBadQuery) {
+			t.Errorf("member %d: err = %v, want ErrBadQuery", i, out[i].Err)
+		}
+		if out[i].Result != nil {
+			t.Errorf("member %d: got a result alongside the error", i)
+		}
+	}
+	for _, i := range []int{0, 4} {
+		if out[i].Err != nil || out[i].Result == nil {
+			t.Errorf("member %d: good member damaged by bad neighbours: res=%v err=%v", i, out[i].Result, out[i].Err)
+		}
+	}
+	if out[0].Result != nil {
+		want, err := eng.Query(context.Background(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalizeShared(want), normalizeShared(out[0].Result)) {
+			t.Error("member 0: result differs from independent Query")
+		}
+	}
+}
+
+// TestQueryBatchSharedErrors: the QueryBatch contract survives the shared
+// path — a bad focal fails the batch with the offending index wrapped, and
+// a cancelled context aborts with ctx.Err.
+func TestQueryBatchSharedErrors(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 300, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithBatchSharing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.QueryBatch(context.Background(), []int{1, 2, 9999}); !errors.Is(err, repro.ErrBadQuery) {
+		t.Errorf("out-of-range focal: err = %v, want ErrBadQuery", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryBatch(ctx, []int{1, 2, 3}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled batch: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchSharingCacheInterplay: the shared path consults and feeds the
+// result cache like the independent path — a repeated batch is served
+// from memory, in-batch duplicates share one computation, and cached
+// results are bit-identical to computed ones.
+func TestBatchSharingCacheInterplay(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 600, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithBatchSharing(true), repro.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	focals := clusteredFocals(t, ds, 3, 8)
+	focals = append(focals, focals[0]) // in-batch duplicate
+	first, err := eng.QueryBatch(context.Background(), focals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[len(first)-1].Cached != true {
+		t.Error("in-batch duplicate not marked Cached")
+	}
+	second, err := eng.QueryBatch(context.Background(), focals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range focals {
+		if !second[i].Cached {
+			t.Errorf("repeat batch member %d not served from cache", i)
+		}
+		if !reflect.DeepEqual(normalizeShared(first[i]), normalizeShared(second[i])) {
+			t.Errorf("repeat batch member %d differs from first run", i)
+		}
+	}
+	if stats := eng.Stats(); stats.CacheHits == 0 {
+		t.Error("cache hits not counted by the shared path")
+	}
+}
+
+// TestApplyInheritsBatchSharing: a mutation successor keeps serving with
+// sharing enabled (the same inheritance Apply gives every other knob).
+func TestApplyInheritsBatchSharing(t *testing.T) {
+	ds, err := repro.GenerateDataset("IND", 200, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds, repro.WithBatchSharing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := eng.Apply(context.Background(), []repro.Op{repro.InsertOp([]float64{0.9, 0.8, 0.7})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.BatchSharing() {
+		t.Error("Apply successor lost WithBatchSharing")
+	}
+}

@@ -44,16 +44,18 @@ import (
 // config carries the parsed flags; keeping it a plain struct makes the
 // validation rules testable without running main.
 type config struct {
-	dataPath   string
-	gen        string
-	dataDir    string
-	n, dim     int
-	seed       int64
-	normalize  bool
-	cacheCap   int
-	parallel   int
-	queryPar   int
-	resnapshot bool
+	dataPath    string
+	gen         string
+	dataDir     string
+	n, dim      int
+	seed        int64
+	normalize   bool
+	cacheCap    int
+	parallel    int
+	queryPar    int
+	resnapshot  bool
+	batchShare  bool
+	pageLatency time.Duration
 }
 
 // validate enforces the dataset-source rules up front so a misconfigured
@@ -87,7 +89,16 @@ func (c *config) engineOptions() []repro.EngineOption {
 		repro.WithParallelism(c.parallel),
 		repro.WithQueryParallelism(c.queryPar),
 		repro.WithCache(c.cacheCap),
+		repro.WithBatchSharing(c.batchShare),
 	}
+}
+
+// datasetOptions are the options every dataset in this process shares.
+func (c *config) datasetOptions() []repro.DatasetOption {
+	if c.pageLatency > 0 {
+		return []repro.DatasetOption{repro.WithPageLatency(c.pageLatency)}
+	}
+	return nil
 }
 
 // loadSnapshotEngine builds one serving engine from a snapshot file.
@@ -97,7 +108,7 @@ func (c *config) loadSnapshotEngine(path string) (*repro.Engine, error) {
 		return nil, err
 	}
 	defer f.Close()
-	ds, err := repro.LoadSnapshot(f)
+	ds, err := repro.LoadSnapshot(f, c.datasetOptions()...)
 	if err != nil {
 		return nil, fmt.Errorf("loading snapshot %s: %w", path, err)
 	}
@@ -233,9 +244,9 @@ func (c *config) buildSingleDataset() (*repro.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return repro.NewDataset(rows)
+		return repro.NewDataset(rows, c.datasetOptions()...)
 	}
-	return repro.GenerateDataset(c.gen, c.n, c.dim, c.seed)
+	return repro.GenerateDataset(c.gen, c.n, c.dim, c.seed, c.datasetOptions()...)
 }
 
 func main() {
@@ -260,9 +271,12 @@ func main() {
 	// explicit worker count; see docs/PERFORMANCE.md.
 	flag.IntVar(&cfg.queryPar, "query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&cfg.resnapshot, "resnapshot", false, "write each mutated dataset back to <data-dir>/<name>.snap (with -data-dir)")
+	flag.BoolVar(&cfg.batchShare, "batch-share", false, "share the dominance-classification prefix across each /v1/batch's clustered focals")
+	flag.DurationVar(&cfg.pageLatency, "page-latency", 0, "simulated latency per index page access (disk-resident scenario; 0 = in-memory)")
 	var (
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
+		coalesce   = flag.Duration("coalesce", 0, "merge concurrent /v1/query requests arriving within this window into one shared batch (0 = off)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
@@ -280,6 +294,7 @@ func main() {
 	srvOpts := []server.Option{
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithMaxBatch(*maxBatch),
+		server.WithCoalescing(*coalesce),
 		server.WithLogger(logger),
 		server.WithSnapshotLoader(cfg.loadSnapshotEngine),
 	}

@@ -35,10 +35,16 @@ type Engine struct {
 	ds            *Dataset
 	parallel      int
 	queryParallel int
+	batchShare    bool
 	defaults      []Option
 	cacheCap      int // as configured, so Apply can equip successors alike
 	cache         *cache.Cache[*Result]
 	queries       atomic.Int64
+
+	// boundsOnce/dsLo/dsHi lazily cache the dataset bounding box that
+	// anchors the batch-sharing proximity grid (see sharedGroupBounds).
+	boundsOnce sync.Once
+	dsLo, dsHi vecmath.Point
 }
 
 // EngineOption configures engine construction.
@@ -47,6 +53,7 @@ type EngineOption func(*engineConfig)
 type engineConfig struct {
 	parallel      int
 	queryParallel int
+	batchShare    bool
 	defaults      []Option
 	cacheCapacity int
 }
@@ -126,7 +133,7 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if cfg.queryParallel <= 0 {
 		cfg.queryParallel = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{ds: ds, parallel: cfg.parallel, queryParallel: cfg.queryParallel, defaults: cfg.defaults, cacheCap: cfg.cacheCapacity}
+	e := &Engine{ds: ds, parallel: cfg.parallel, queryParallel: cfg.queryParallel, batchShare: cfg.batchShare, defaults: cfg.defaults, cacheCap: cfg.cacheCapacity}
 	if cfg.cacheCapacity > 0 {
 		e.cache = cache.New[*Result](cfg.cacheCapacity)
 	}
@@ -224,6 +231,9 @@ func (e *Engine) QueryBatch(ctx context.Context, focalIndexes []int, opts ...Opt
 	}
 	if len(focalIndexes) == 0 {
 		return nil, nil
+	}
+	if e.batchShare {
+		return e.queryBatchShared(ctx, focalIndexes, opts)
 	}
 	workers := e.parallel
 	if workers > len(focalIndexes) {

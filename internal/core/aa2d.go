@@ -55,12 +55,12 @@ func aa2dRun(in Input) (*Result, error) {
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(rd, p)
+	dom, err := in.dominators(rd)
 	if err != nil {
 		return nil, err
 	}
 
-	sky, err := skyline.NewForQuery(ctx, rd, p, in.FocalID)
+	sky, err := in.newSkyline(ctx, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +258,7 @@ func aa2dRun(in Input) (*Result, error) {
 	finishResult(res, regions, oStar, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.IncomparableAccessed = sky.Accessed()
-	res.Stats.IO = tr.Reads()
+	res.Stats.IO = tr.Reads() + in.sharedIO()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }

@@ -28,7 +28,7 @@ func baRun(in Input) (*Result, error) {
 	res := &Result{}
 	p := in.Focal
 
-	dom, err := CountDominators(rd, p)
+	dom, err := in.dominators(rd)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func baRun(in Input) (*Result, error) {
 		id int64
 	}
 	var incs []incRec
-	err = scanIncomparable(ctx, rd, p, in.FocalID, func(r vecmath.Point, id int64) error {
+	err = in.eachIncomparable(ctx, rd, func(r vecmath.Point, id int64) error {
 		incs = append(incs, incRec{p: r, id: id})
 		return nil
 	})
@@ -76,7 +76,7 @@ func baRun(in Input) (*Result, error) {
 	finishResult(res, regions, minOrder, in.Tau, dom)
 	res.Stats.Dominators = dom
 	res.Stats.Iterations = 1
-	res.Stats.IO = tr.Reads()
+	res.Stats.IO = tr.Reads() + in.sharedIO()
 	res.Stats.CPUTime = timeNow().Sub(start)
 	return res, nil
 }

@@ -225,6 +225,7 @@ func (e *Engine) Apply(ctx context.Context, ops []Op) (*Engine, error) {
 	opts := []EngineOption{
 		WithParallelism(e.parallel),
 		WithQueryParallelism(e.queryParallel),
+		WithBatchSharing(e.batchShare),
 		WithCache(e.cacheCap),
 	}
 	if len(e.defaults) > 0 {

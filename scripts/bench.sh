@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# bench.sh — run the paper-figure benchmarks plus the PR 3 hot-path micro
-# benchmarks and emit a machine-readable BENCH_PR3.json: ns/op, B/op and
-# allocs/op per benchmark, plus the intra-query parallel speedup
-# (BenchmarkQueryParallelism workers=1 vs the largest worker count).
+# bench.sh — run the paper-figure benchmarks plus the hot-path micro
+# benchmarks and emit a machine-readable BENCH_PR6.json: ns/op, B/op and
+# allocs/op per benchmark, the intra-query parallel speedup
+# (BenchmarkQueryParallelism workers=1 vs the largest worker count), and
+# the batch-sharing speedup (BenchmarkBatchSharing fca_d2_disk share=false
+# vs share=true).
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -22,29 +24,31 @@
 #                    that steady-state allocs/op — the number that must be
 #                    ~0 for the pooled LP solver — is not warmup noise)
 #
-# The speedup is meaningful only on a multi-core machine; the JSON records
-# gomaxprocs so readers can tell. On machines with >= 8 cores the script
-# additionally enforces the PR 3 acceptance criterion — the workers=8
+# The parallel speedup is meaningful only on a multi-core machine; the
+# JSON records gomaxprocs so readers can tell. On machines with >= 8 cores
+# the script enforces the PR 3 acceptance criterion — the workers=8
 # single-query speedup must reach MIN_SPEEDUP (default 1.8) — and exits
 # non-zero otherwise, so a regression that silently serialises the
 # parallel path fails the run. Set MIN_SPEEDUP=0 to disable the gate.
+#
+# The batch-sharing speedup is pure work reduction (one shared
+# classification pass instead of one per clustered focal), so it shows at
+# ANY core count: the PR 6 gate requires the fca_d2_disk pair to reach
+# MIN_SHARE_SPEEDUP (default 1.5) unconditionally. Set
+# MIN_SHARE_SPEEDUP=0 to disable.
 # Requires only the Go toolchain and awk.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR3.json}
+OUT=${1:-BENCH_PR6.json}
 BENCHTIME=${BENCHTIME:-5x}
 BENCH_COUNT=${BENCH_COUNT:-3}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "running root benchmarks (Fig8, Fig9, QueryParallelism, Apply; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
-# BenchmarkApply (mutation versions/sec, allocs/op) rides along in the
-# report but is NOT in the committed baseline yet, so bench_compare.sh —
-# which gates only benchmarks common to both reports — records it without
-# gating it.
-go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism|^BenchmarkApply$' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
+echo "running root benchmarks (Fig8, Fig9, QueryParallelism, BatchSharing, Apply; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
+go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism|^BenchmarkBatchSharing$|^BenchmarkApply$' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
 echo "running LP micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
 go test -run '^$' -bench 'LPSolve' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/lp >>"$TMP"
 echo "running cell-enumeration micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
@@ -53,7 +57,9 @@ go test -run '^$' -bench 'CellEnumerate' -benchmem -benchtime "$MICRO_BENCHTIME"
 GOVERSION=$(go env GOVERSION)
 GOMAXPROCS=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}
 
-awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTIME" '
+SUITE=$(basename "$OUT" .json)
+
+awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTIME" -v suite="$SUITE" '
 /^Benchmark/ && / ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)        # strip the -GOMAXPROCS suffix
@@ -88,8 +94,8 @@ awk -v goversion="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" -v benchtime="$BENCHTI
 }
 END {
     printf "{\n"
-    printf "  \"suite\": \"BENCH_PR3\",\n"
-    printf "  \"description\": \"paper-figure benchmarks + PR3 hot-path micro-benchmarks (min across repeated runs)\",\n"
+    printf "  \"suite\": \"%s\",\n", suite
+    printf "  \"description\": \"paper-figure benchmarks + hot-path micro-benchmarks + batch sharing (min across repeated runs)\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"gomaxprocs\": %s,\n", gomaxprocs
     printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -97,6 +103,11 @@ END {
     peak = nsof["BenchmarkQueryParallelism/workers=" maxw]
     if (base != "" && peak != "" && peak + 0 > 0) {
         printf "  \"parallel_speedup\": {\"workers\": %s, \"baseline_ns_per_op\": %s, \"parallel_ns_per_op\": %s, \"speedup\": %.2f},\n", maxw, base, peak, base / peak
+    }
+    soff = nsof["BenchmarkBatchSharing/fca_d2_disk/share=false"]
+    son = nsof["BenchmarkBatchSharing/fca_d2_disk/share=true"]
+    if (soff != "" && son != "" && son + 0 > 0) {
+        printf "  \"batch_sharing_speedup\": {\"scenario\": \"fca_d2_disk\", \"independent_ns_per_op\": %s, \"shared_ns_per_op\": %s, \"speedup\": %.2f},\n", soff, son, soff / son
     }
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
@@ -129,4 +140,22 @@ if [ "$GOMAXPROCS" -ge 8 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
     echo "parallel speedup $SPEEDUP >= $MIN_SPEEDUP (GOMAXPROCS=$GOMAXPROCS): OK" >&2
 else
     echo "note: speedup gate skipped (GOMAXPROCS=$GOMAXPROCS < 8 or MIN_SPEEDUP=0)" >&2
+fi
+
+# PR 6 acceptance gate: batch sharing is work reduction, not parallelism,
+# so the bar applies at any core count.
+MIN_SHARE_SPEEDUP=${MIN_SHARE_SPEEDUP:-1.5}
+if awk 'BEGIN { exit !('"$MIN_SHARE_SPEEDUP"' > 0) }'; then
+    SHARE=$(awk -F'"speedup": ' '/batch_sharing_speedup/ { split($2, a, "}"); print a[1] }' "$OUT")
+    if [ -z "$SHARE" ]; then
+        echo "FAIL: no batch_sharing_speedup recorded in $OUT" >&2
+        exit 1
+    fi
+    if awk 'BEGIN { exit !('"$SHARE"' < '"$MIN_SHARE_SPEEDUP"') }'; then
+        echo "FAIL: batch-sharing speedup $SHARE < $MIN_SHARE_SPEEDUP" >&2
+        exit 1
+    fi
+    echo "batch-sharing speedup $SHARE >= $MIN_SHARE_SPEEDUP: OK" >&2
+else
+    echo "note: batch-sharing gate skipped (MIN_SHARE_SPEEDUP=0)" >&2
 fi

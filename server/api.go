@@ -126,6 +126,9 @@ type DatasetEntry struct {
 	// Version is the dataset's mutation version (1 at attach, +1 per
 	// successful mutate).
 	Version uint64 `json:"version"`
+	// Latency reports the dataset's query-latency quantiles over the most
+	// recent successful /v1/query requests; absent until a query completes.
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 // DatasetStats describes one served dataset.
@@ -203,6 +206,11 @@ type ServerStats struct {
 	Errors int64 `json:"errors"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// CoalescedQueries and CoalescedGroups count the queries executed
+	// through a coalesced group and the groups executed (see
+	// WithCoalescing); both stay zero with coalescing disabled.
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	CoalescedGroups  int64 `json:"coalesced_groups"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -210,8 +218,13 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// handleQuery serves POST /v1/query.
+// handleQuery serves POST /v1/query. With coalescing enabled
+// (WithCoalescing) the query joins the open group for its dataset and
+// options and waits for the shared execution; either way the reported
+// latency is measured from handler entry, so it includes any coalescing
+// wait.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	began := time.Now()
 	var req QueryRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -225,7 +238,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	eng, _, release, err := s.reg.resolve(req.Dataset)
+	eng, name, release, err := s.reg.resolve(req.Dataset)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -234,16 +247,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	var res *repro.Result
-	if req.Focal != nil {
-		res, err = eng.Query(ctx, *req.Focal, opts...)
+	if s.coal != nil {
+		res, err = s.coalescedQuery(ctx, name, eng, &req, opts)
 	} else {
-		res, err = eng.QueryPoint(ctx, req.Point, opts...)
+		res, err = s.directQuery(ctx, eng, &req, opts)
 	}
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
 		return
 	}
+	s.recordLatency(name, time.Since(began))
 	s.reply(w, http.StatusOK, convertResult(res, req.MaxRegions))
+}
+
+// directQuery executes one query immediately on the resolved engine — the
+// uncoalesced path, also the coalescer's fallback when a detach races
+// group creation.
+func (s *Server) directQuery(ctx context.Context, eng *repro.Engine, req *QueryRequest, opts []repro.Option) (*repro.Result, error) {
+	if req.Focal != nil {
+		return eng.Query(ctx, *req.Focal, opts...)
+	}
+	return eng.QueryPoint(ctx, req.Point, opts...)
 }
 
 // handleBatch serves POST /v1/batch.
@@ -292,9 +316,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Datasets: make(map[string]DatasetEntry),
 		Server: ServerStats{
-			Requests:      s.requests.Load(),
-			Errors:        s.errors.Load(),
-			UptimeSeconds: time.Since(s.start).Seconds(),
+			Requests:         s.requests.Load(),
+			Errors:           s.errors.Load(),
+			UptimeSeconds:    time.Since(s.start).Seconds(),
+			CoalescedQueries: s.coalescedQueries.Load(),
+			CoalescedGroups:  s.coalescedGroups.Load(),
 		},
 	}
 	s.reg.forEach(func(name string, eng *repro.Engine, version uint64, stats repro.EngineStats) {
@@ -309,6 +335,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			// the counters must not reset with each swap.
 			Engine:  stats,
 			Version: version,
+			Latency: s.latencyStats(name),
 		}
 	})
 	// The legacy mirror fields reuse the per-dataset entry captured above,
@@ -483,6 +510,7 @@ func (s *Server) handleDetachDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.dropLatency(name)
 	s.logf("server: detached dataset %q", name)
 	s.reply(w, http.StatusOK, map[string]string{"status": "removed", "dataset": name})
 }

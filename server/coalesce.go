@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// WithCoalescing makes the server hold each /v1/query request for up to
+// window, merging the concurrent requests that target the same dataset
+// under the same options into one shared batch (Engine.QueryGroup): the
+// group pays the dominance-classification prefix once, and each waiter
+// gets exactly the result it would have computed alone (see
+// repro.WithBatchSharing for the determinism contract). A few
+// milliseconds is the useful range — enough to catch a burst, small
+// against a query's own latency. The default (and any window <= 0) is
+// off: every request executes immediately and independently.
+//
+// Coalescing trades a bounded first-request delay for burst throughput;
+// it pays off when concurrent clients query the same dataset region, and
+// costs one window of added latency when they do not. Cancellation is
+// per waiter: a client disconnecting leaves the rest of its group
+// unharmed, and the group's execution is cancelled only when every
+// waiter has gone.
+func WithCoalescing(window time.Duration) Option {
+	return func(s *Server) {
+		if window > 0 {
+			s.coalesceWindow = window
+		}
+	}
+}
+
+// CoalescingWindow reports the configured coalescing window (0 when
+// disabled).
+func (s *Server) CoalescingWindow() time.Duration { return s.coalesceWindow }
+
+// coalescer collects compatible concurrent queries into groups. Keys
+// combine the resolved dataset name, the engine instance the requests
+// resolved to (a mutation swap changes the pointer, so requests never
+// join a group executing against a retired version), and the option
+// signature; MaxRegions is excluded because truncation happens per
+// waiter, after the shared computation.
+type coalescer struct {
+	s      *Server
+	window time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*coalesceGroup
+}
+
+// coalesceGroup is one open window's worth of compatible queries. Lock
+// order: coalescer.mu before coalesceGroup.mu.
+type coalesceGroup struct {
+	c       *coalescer
+	key     string
+	eng     *repro.Engine
+	release func()         // the group's own registry pin (drain correctness)
+	opts    []repro.Option // shared by construction: the key encodes them
+	timer   *time.Timer
+
+	mu         sync.Mutex
+	focals     []repro.Focal
+	replies    []chan coalesceReply
+	refs       int // waiters still listening
+	execCancel context.CancelFunc
+}
+
+// coalesceReply is one waiter's share of a group execution; exactly one
+// field is set.
+type coalesceReply struct {
+	res *repro.Result
+	err error
+}
+
+// coalesceKey builds the group key for a request that resolved to eng.
+func coalesceKey(name string, eng *repro.Engine, req *QueryRequest) string {
+	return name + "|" + fmt.Sprintf("%p", eng) + "|" + req.Algorithm + "|" +
+		strconv.Itoa(req.Tau) + "|" + strconv.FormatBool(req.OutrankIDs)
+}
+
+// enqueue adds one query to the open group for key, creating the group
+// (and starting its window timer) if none is open. It returns the
+// waiter's reply channel and a drop function to call when the waiter
+// abandons the wait. ok is false when the group could not pin the
+// dataset (a detach won the race); the caller then executes directly.
+func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts []repro.Option, f repro.Focal) (ch <-chan coalesceReply, drop func(), ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[key]
+	if g == nil {
+		// The group outlives its waiters' handlers, so it holds its own
+		// registry pin: a detach issued mid-window drains after — not
+		// during — the group's execution. The pin is by name, so it stays
+		// valid across mutation swaps of the same dataset.
+		_, release, err := c.s.reg.Acquire(name)
+		if err != nil {
+			return nil, nil, false
+		}
+		g = &coalesceGroup{c: c, key: key, eng: eng, release: release, opts: opts}
+		g.timer = time.AfterFunc(c.window, func() { c.run(g) })
+		c.groups[key] = g
+	}
+	reply := make(chan coalesceReply, 1)
+	g.mu.Lock()
+	g.focals = append(g.focals, f)
+	g.replies = append(g.replies, reply)
+	g.refs++
+	full := len(g.focals) >= c.s.maxBatch
+	g.mu.Unlock()
+	if full && g.timer.Stop() {
+		// The group reached the batch cap before its window closed: seal
+		// and run it now (Stop returning true means the timer had not
+		// fired, so this goroutine owns the run).
+		go c.run(g)
+	}
+	return reply, g.drop, true
+}
+
+// run executes a sealed group and fans the per-member results back to the
+// waiters still listening. It runs on the window timer's goroutine (or a
+// fresh one when the batch cap sealed the group early).
+func (c *coalescer) run(g *coalesceGroup) {
+	c.mu.Lock()
+	if c.groups[g.key] == g {
+		delete(c.groups, g.key)
+	}
+	c.mu.Unlock()
+	defer g.release()
+
+	// The execution context is the server's own (request-timeout bounded),
+	// not any waiter's: waiters come and go independently, and one
+	// disconnecting must not cancel its neighbours' shared computation.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if c.s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.s.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	g.mu.Lock()
+	focals := g.focals
+	replies := g.replies
+	g.execCancel = cancel
+	abandoned := g.refs == 0
+	g.mu.Unlock()
+	if abandoned {
+		// Every waiter gave up before the window closed; skip the work.
+		return
+	}
+	c.s.coalescedQueries.Add(int64(len(focals)))
+	c.s.coalescedGroups.Add(1)
+	out := g.eng.QueryGroup(ctx, focals, g.opts...)
+	for i, ch := range replies {
+		// Buffered(1) and written exactly once: never blocks, even for
+		// waiters that stopped listening.
+		ch <- coalesceReply{res: out[i].Result, err: out[i].Err}
+	}
+}
+
+// drop records that one waiter abandoned the wait (client disconnect or
+// request deadline). When the last waiter leaves, the group's execution —
+// if it already started — is cancelled; otherwise run notices the empty
+// group and skips the work.
+func (g *coalesceGroup) drop() {
+	g.mu.Lock()
+	g.refs--
+	cancel := g.execCancel
+	last := g.refs == 0
+	g.mu.Unlock()
+	if last && cancel != nil {
+		cancel()
+	}
+}
+
+// coalescedQuery runs one /v1/query through the coalescer, waiting for
+// the group's shared execution, and falls back to direct execution when
+// the dataset is being detached.
+func (s *Server) coalescedQuery(ctx context.Context, name string, eng *repro.Engine, req *QueryRequest, opts []repro.Option) (*repro.Result, error) {
+	var f repro.Focal
+	if req.Focal != nil {
+		f.Index = *req.Focal
+	} else {
+		f.Point = req.Point
+	}
+	ch, drop, ok := s.coal.enqueue(name, coalesceKey(name, eng, req), eng, opts, f)
+	if !ok {
+		return s.directQuery(ctx, eng, req, opts)
+	}
+	select {
+	case rep := <-ch:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		drop()
+		return nil, ctx.Err()
+	}
+}

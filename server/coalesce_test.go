@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newQueryRequest builds a POST /v1/query request whose context the test
+// controls (post wraps everything; cancellation tests need the request).
+func newQueryRequest(t testing.TB, q QueryRequest) *http.Request {
+	t.Helper()
+	b, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+func newRecorder() *httptest.ResponseRecorder { return httptest.NewRecorder() }
+
+// stripVolatile clears the response fields coalescing legitimately
+// changes (shared-scan IO accounting, cache marking, timing); everything
+// else must match the uncoalesced answer exactly.
+func stripVolatile(r *QueryResponse) *QueryResponse {
+	cp := *r
+	cp.Cached = false
+	cp.Stats = QueryStats{Algorithm: r.Stats.Algorithm}
+	return &cp
+}
+
+// TestCoalescingMergesBurst: concurrent queries inside one window execute
+// as one shared group, answers are identical to the direct path, and the
+// coalescing counters advance.
+func TestCoalescingMergesBurst(t *testing.T) {
+	direct := newTestServer(t)
+	coalesced := newTestServer(t, WithCoalescing(60*time.Millisecond))
+	if coalesced.CoalescingWindow() != 60*time.Millisecond {
+		t.Fatal("CoalescingWindow does not reflect configuration")
+	}
+	focals := []int{3, 17, 42, 99, 250}
+	want := make([]*QueryResponse, len(focals))
+	for i, f := range focals {
+		focal := f
+		code, body := post(t, direct, "/v1/query", QueryRequest{Focal: &focal, Tau: 1, OutrankIDs: true})
+		if code != http.StatusOK {
+			t.Fatalf("direct query %d = %d: %s", f, code, body)
+		}
+		want[i] = new(QueryResponse)
+		if err := json.Unmarshal(body, want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]*QueryResponse, len(focals))
+	var wg sync.WaitGroup
+	for i, f := range focals {
+		wg.Add(1)
+		go func(i, f int) {
+			defer wg.Done()
+			code, body := post(t, coalesced, "/v1/query", QueryRequest{Focal: &f, Tau: 1, OutrankIDs: true})
+			if code != http.StatusOK {
+				t.Errorf("coalesced query %d = %d: %s", f, code, body)
+				return
+			}
+			resp := new(QueryResponse)
+			if err := json.Unmarshal(body, resp); err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = resp
+		}(i, f)
+	}
+	wg.Wait()
+	for i := range focals {
+		if got[i] == nil {
+			continue
+		}
+		if !reflect.DeepEqual(stripVolatile(want[i]), stripVolatile(got[i])) {
+			t.Errorf("focal %d: coalesced answer differs from direct", focals[i])
+		}
+	}
+	if q := coalesced.coalescedQueries.Load(); q != int64(len(focals)) {
+		t.Errorf("coalescedQueries = %d, want %d", q, len(focals))
+	}
+	if g := coalesced.coalescedGroups.Load(); g < 1 {
+		t.Errorf("coalescedGroups = %d, want >= 1", g)
+	}
+	code, body := get(t, coalesced, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.CoalescedQueries != coalesced.coalescedQueries.Load() ||
+		stats.Server.CoalescedGroups != coalesced.coalescedGroups.Load() {
+		t.Error("stats response does not mirror the coalescing counters")
+	}
+}
+
+// TestCoalescingWaiterCancellation: a waiter whose request context dies
+// mid-window gets its timeout status, and its groupmates' answers are
+// untouched — one client disconnecting must not cancel the group.
+func TestCoalescingWaiterCancellation(t *testing.T) {
+	direct := newTestServer(t)
+	srv := newTestServer(t, WithCoalescing(500*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	bodies := make([][]byte, 3)
+	for i, f := range []int{5, 6, 7} {
+		wg.Add(1)
+		go func(i, f int) {
+			defer wg.Done()
+			req := newQueryRequest(t, QueryRequest{Focal: &f})
+			if i == 0 {
+				req = req.WithContext(ctx)
+			}
+			rec := newRecorder()
+			srv.ServeHTTP(rec, req)
+			codes[i], bodies[i] = rec.Code, rec.Body.Bytes()
+		}(i, f)
+	}
+	time.Sleep(100 * time.Millisecond) // let all three join the window
+	cancel()
+	wg.Wait()
+	if codes[0] != http.StatusRequestTimeout {
+		t.Errorf("cancelled waiter got %d, want 408: %s", codes[0], bodies[0])
+	}
+	for i, f := range []int{0, 6, 7} {
+		if i == 0 {
+			continue
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("surviving waiter %d got %d: %s", f, codes[i], bodies[i])
+		}
+		var gotR QueryResponse
+		if err := json.Unmarshal(bodies[i], &gotR); err != nil {
+			t.Fatal(err)
+		}
+		focal := f
+		code, body := post(t, direct, "/v1/query", QueryRequest{Focal: &focal})
+		if code != http.StatusOK {
+			t.Fatalf("direct query %d = %d", f, code)
+		}
+		var wantR QueryResponse
+		if err := json.Unmarshal(body, &wantR); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripVolatile(&wantR), stripVolatile(&gotR)) {
+			t.Errorf("surviving waiter %d: answer differs from direct after groupmate cancellation", f)
+		}
+	}
+}
+
+// TestCoalescingBatchCapSealsEarly: a group that reaches the batch cap
+// runs immediately instead of waiting out its window.
+func TestCoalescingBatchCapSealsEarly(t *testing.T) {
+	srv := newTestServer(t, WithCoalescing(3*time.Second), WithMaxBatch(2))
+	began := time.Now()
+	var wg sync.WaitGroup
+	for _, f := range []int{11, 12} {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			if code, body := post(t, srv, "/v1/query", QueryRequest{Focal: &f}); code != http.StatusOK {
+				t.Errorf("query %d = %d: %s", f, code, body)
+			}
+		}(f)
+	}
+	wg.Wait()
+	if took := time.Since(began); took > 2*time.Second {
+		t.Errorf("capped group took %v; early seal did not fire", took)
+	}
+}
+
+// TestCoalescingDisabledByDefault: without WithCoalescing (or with a
+// non-positive window) queries run directly and the counters stay zero.
+func TestCoalescingDisabledByDefault(t *testing.T) {
+	for _, srv := range []*Server{
+		newTestServer(t),
+		newTestServer(t, WithCoalescing(0)),
+		newTestServer(t, WithCoalescing(-time.Millisecond)),
+	} {
+		if srv.coal != nil {
+			t.Fatal("coalescer constructed despite a disabled window")
+		}
+		focal := 9
+		if code, body := post(t, srv, "/v1/query", QueryRequest{Focal: &focal}); code != http.StatusOK {
+			t.Fatalf("query = %d: %s", code, body)
+		}
+		if srv.coalescedQueries.Load() != 0 || srv.coalescedGroups.Load() != 0 {
+			t.Error("coalescing counters advanced with coalescing disabled")
+		}
+	}
+}
+
+// TestCoalescingPerWaiterErrors: a bad focal in a coalesced group fails
+// only its own request.
+func TestCoalescingPerWaiterErrors(t *testing.T) {
+	srv := newTestServer(t, WithCoalescing(60*time.Millisecond))
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i, f := range []int{4, 100000} {
+		wg.Add(1)
+		go func(i, f int) {
+			defer wg.Done()
+			codes[i], _ = post(t, srv, "/v1/query", QueryRequest{Focal: &f})
+		}(i, f)
+	}
+	wg.Wait()
+	if codes[0] != http.StatusOK {
+		t.Errorf("good waiter got %d, want 200", codes[0])
+	}
+	if codes[1] != http.StatusBadRequest {
+		t.Errorf("out-of-range waiter got %d, want 400", codes[1])
+	}
+}
+
+// TestLatencyQuantiles: successful queries populate per-dataset latency
+// quantiles in /v1/stats; detaching the ring clears it.
+func TestLatencyQuantiles(t *testing.T) {
+	srv := newTestServer(t)
+	for f := 0; f < 5; f++ {
+		focal := f
+		if code, _ := post(t, srv, "/v1/query", QueryRequest{Focal: &focal}); code != http.StatusOK {
+			t.Fatalf("query %d failed", f)
+		}
+	}
+	code, body := get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	lat := stats.Datasets[DefaultDataset].Latency
+	if lat == nil {
+		t.Fatal("no latency stats after successful queries")
+	}
+	if lat.Count != 5 {
+		t.Errorf("latency count = %d, want 5", lat.Count)
+	}
+	if !(lat.P50Ms <= lat.P95Ms && lat.P95Ms <= lat.P99Ms && lat.P99Ms <= lat.MaxMs) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v max=%v", lat.P50Ms, lat.P95Ms, lat.P99Ms, lat.MaxMs)
+	}
+	if lat.P99Ms <= 0 {
+		t.Errorf("p99 = %v, want > 0", lat.P99Ms)
+	}
+	srv.dropLatency(DefaultDataset)
+	if srv.latencyStats(DefaultDataset) != nil {
+		t.Error("latency ring survived dropLatency")
+	}
+}
+
+// TestLatencyRingWindow: the ring caps quantile memory but keeps the
+// lifetime count and max.
+func TestLatencyRingWindow(t *testing.T) {
+	var r latRing
+	for i := 0; i < latWindow+100; i++ {
+		r.record(time.Duration(i+1) * time.Microsecond)
+	}
+	st := r.stats()
+	if st.Count != int64(latWindow+100) {
+		t.Errorf("count = %d, want %d", st.Count, latWindow+100)
+	}
+	if want := float64(latWindow+100) / 1000; st.MaxMs != want {
+		t.Errorf("max = %v, want %v", st.MaxMs, want)
+	}
+	// Only the most recent latWindow samples are in the quantile window,
+	// so even p50 exceeds the evicted oldest values.
+	if st.P50Ms <= 0.1 {
+		t.Errorf("p50 = %v suspiciously small: evicted samples still counted?", st.P50Ms)
+	}
+}

@@ -23,7 +23,9 @@
 // Results are served from the addressed engine's deduplicating cache when
 // it was built with repro.WithCache; a cached answer is marked
 // "cached": true and is byte-identical to any other cached answer for the
-// same query.
+// same query. With WithCoalescing, concurrent /v1/query requests for the
+// same dataset and options are merged into one shared batch per window —
+// answers are unchanged, only the execution is shared.
 package server
 
 import (
@@ -57,6 +59,12 @@ type Server struct {
 	logger     *log.Logger
 	start      time.Time
 
+	coalesceWindow time.Duration
+	coal           *coalescer // nil when coalescing is disabled
+
+	latMu sync.Mutex
+	lat   map[string]*latRing // per-dataset query-latency rings
+
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 	closed  bool // Shutdown was called; Serve must not (re)start
@@ -70,6 +78,9 @@ type Server struct {
 
 	requests atomic.Int64 // all requests routed to a handler
 	errors   atomic.Int64 // requests answered with a 4xx/5xx status
+
+	coalescedQueries atomic.Int64 // queries executed through a coalesced group
+	coalescedGroups  atomic.Int64 // coalesced groups executed
 }
 
 // Option configures a Server.
@@ -157,9 +168,13 @@ func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
 		maxBody:  1 << 20,
 		logger:   log.Default(),
 		start:    time.Now(),
+		lat:      make(map[string]*latRing),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.coalesceWindow > 0 {
+		s.coal = &coalescer{s: s, window: s.coalesceWindow, groups: make(map[string]*coalesceGroup)}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -343,6 +358,8 @@ func publishExpvar(s *Server) {
 		m.Set("cache_misses", counter(sum(func(s repro.EngineStats) int64 { return s.CacheMisses })))
 		m.Set("cache_evictions", counter(sum(func(s repro.EngineStats) int64 { return s.CacheEvictions })))
 		m.Set("cache_size", counter(sum(func(s repro.EngineStats) int64 { return int64(s.CacheSize) })))
+		m.Set("coalesced_queries", counter(func(t *Server) int64 { return t.coalescedQueries.Load() }))
+		m.Set("coalesced_groups", counter(func(t *Server) int64 { return t.coalescedGroups.Load() }))
 		expvar.Publish("maxrank", m)
 	})
 }
