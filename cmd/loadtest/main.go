@@ -22,6 +22,12 @@
 // (not dataset indexes) keep the server's result cache out of the
 // measurement.
 //
+// Load-shedding responses (429 accept-queue-full, 503 deadline-shed —
+// see server.WithAdmission) are counted separately from errors and kept
+// out of the latency histogram: the report's goodput_rps is successful
+// answers per second, shed_429/shed_503 are the server saying "no"
+// gracefully, and errors means something actually failed.
+//
 // Latencies land in an HDR-style log-bucketed histogram (5% bucket
 // ratio), so p50/p95/p99 cost O(buckets) memory at any request count.
 // The report is JSON; -sweep runs a comma-separated list of concurrency
@@ -153,17 +159,30 @@ func (w *workload) point(rng *rand.Rand, seq int64) []float64 {
 // the merged BENCH json for those keys and must keep seeing only the
 // micro-benchmark entries.
 type runResult struct {
-	Label         string  `json:"label,omitempty"`
-	Mode          string  `json:"mode"`
-	Mix           string  `json:"mix"`
-	Concurrency   int     `json:"concurrency,omitempty"`
-	RateRPS       float64 `json:"rate_rps,omitempty"`
-	Burst         int     `json:"burst,omitempty"`
-	DurationS     float64 `json:"duration_s"`
-	Requests      int64   `json:"requests"`
-	Errors        int64   `json:"errors"`
-	Dropped       int64   `json:"dropped,omitempty"`
+	Label       string  `json:"label,omitempty"`
+	Mode        string  `json:"mode"`
+	Mix         string  `json:"mix"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RateRPS     float64 `json:"rate_rps,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	// Errors counts transport failures and non-2xx statuses OTHER than
+	// the two load-shedding rejections, which are not errors — they are
+	// the server degrading as designed and are reported separately:
+	// Shed429 (accept queue full) and Shed503 (deadline unmeetable in
+	// queue). A healthy overloaded server shows large shed counts and
+	// zero errors; errors under load mean something actually broke.
+	Errors  int64 `json:"errors"`
+	Shed429 int64 `json:"shed_429,omitempty"`
+	Shed503 int64 `json:"shed_503,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
+	// ThroughputRPS and GoodputRPS are both successful (200) responses
+	// per second — the same number under two names. "Goodput" is the one
+	// the overload gates read: it makes explicit that shed responses,
+	// however fast, do not count as served work.
 	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
 	MeanMs        float64 `json:"mean_ms"`
 	P50Ms         float64 `json:"p50_ms"`
 	P95Ms         float64 `json:"p95_ms"`
@@ -252,8 +271,9 @@ func main() {
 	} else {
 		r := runTraffic(&c, w)
 		rep.Runs = append(rep.Runs, r)
-		fmt.Fprintf(os.Stderr, "loadtest: %s/%s: %d ok, %d errors, %.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
-			r.Mode, r.Mix, r.Requests, r.Errors, r.ThroughputRPS, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs)
+		fmt.Fprintf(os.Stderr, "loadtest: %s/%s: %d ok, %d errors, %d shed (429=%d 503=%d), goodput %.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			r.Mode, r.Mix, r.Requests, r.Errors, r.Shed429+r.Shed503, r.Shed429, r.Shed503,
+			r.GoodputRPS, r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs)
 	}
 
 	outW := io.Writer(os.Stdout)
@@ -276,7 +296,7 @@ func main() {
 func runTraffic(c *cfg, w *workload) runResult {
 	client := &http.Client{Timeout: 60 * time.Second}
 	hist := new(histogram)
-	var okCount, errCount, dropped atomic.Int64
+	var okCount, errCount, shed429, shed503, dropped atomic.Int64
 	deadline := time.Now().Add(c.duration)
 	began := time.Now()
 
@@ -295,12 +315,20 @@ func runTraffic(c *cfg, w *workload) runResult {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
+		switch resp.StatusCode {
+		case http.StatusOK:
+			okCount.Add(1)
+			// Only served requests enter the histogram: shed responses
+			// return in microseconds and would make overload p50/p99
+			// look absurdly good.
+			hist.record(float64(time.Since(start)) / float64(time.Millisecond))
+		case http.StatusTooManyRequests:
+			shed429.Add(1)
+		case http.StatusServiceUnavailable:
+			shed503.Add(1)
+		default:
 			errCount.Add(1)
-			return
 		}
-		okCount.Add(1)
-		hist.record(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 
 	switch c.mode {
@@ -366,6 +394,8 @@ func runTraffic(c *cfg, w *workload) runResult {
 		DurationS: elapsed,
 		Requests:  okCount.Load(),
 		Errors:    errCount.Load(),
+		Shed429:   shed429.Load(),
+		Shed503:   shed503.Load(),
 		Dropped:   dropped.Load(),
 		MaxMs:     hist.max,
 		P50Ms:     hist.quantile(0.50),
@@ -380,6 +410,7 @@ func runTraffic(c *cfg, w *workload) runResult {
 	}
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(res.Requests) / elapsed
+		res.GoodputRPS = res.ThroughputRPS
 	}
 	if res.Requests > 0 {
 		res.MeanMs = hist.sum / float64(res.Requests)

@@ -277,7 +277,14 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		maxBatch   = flag.Int("max-batch", 1024, "max focals per /v1/batch request")
 		coalesce   = flag.Duration("coalesce", 0, "merge concurrent /v1/query requests arriving within this window into one shared batch (0 = off)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		// Admission control (see docs/OPERATIONS.md, "Overload tuning"):
+		// beyond max-inflight concurrent executions per dataset, up to
+		// queue-depth requests wait; the rest are shed early with 429,
+		// and queued requests whose -request-timeout cannot be met are
+		// shed with 503 — both with Retry-After.
+		maxInflight = flag.Int("max-inflight", 0, "per-dataset concurrent execution cap; excess queues then sheds 429/503 (0 = unbounded)")
+		queueDepth  = flag.Int("queue-depth", 128, "per-dataset admission queue depth (with -max-inflight)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "maxrankd: ", log.LstdFlags)
@@ -295,6 +302,7 @@ func main() {
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithMaxBatch(*maxBatch),
 		server.WithCoalescing(*coalesce),
+		server.WithAdmission(*maxInflight, *queueDepth),
 		server.WithLogger(logger),
 		server.WithSnapshotLoader(cfg.loadSnapshotEngine),
 	}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fuzzBaseSnapshot is a small but fully populated snapshot used to derive
+// the seed corpus: valid bytes, truncations and bit flips of them.
+func fuzzBaseSnapshot() *Snapshot {
+	points := make([]float64, 0, 6*3)
+	for i := 0; i < 6; i++ {
+		points = append(points, float64(i)/7, float64(i*i)/36, 1-float64(i)/6)
+	}
+	return &Snapshot{
+		Fingerprint:    "deadbeefcafe",
+		Dim:            3,
+		Count:          6,
+		PageSize:       128,
+		QuadMaxPartial: 4,
+		QuadMaxDepth:   8,
+		Root:           3,
+		Height:         2,
+		Points:         points,
+		Pages: []Page{
+			{ID: 1, Data: bytes.Repeat([]byte{0xAA}, 64)},
+			{ID: 2, Data: bytes.Repeat([]byte{0x55}, 32)},
+			{ID: 3, Data: []byte{1, 2, 3, 4}},
+		},
+	}
+}
+
+// FuzzRead is the decoder robustness harness: for ANY input bytes, Read
+// must return either a decoded snapshot or an error wrapping ErrInvalid —
+// never panic, and never trust a header length into a huge allocation
+// (the decode limits cap every size field before it is believed).
+//
+// When Read succeeds, the decode must be canonical: re-encoding the
+// decoded snapshot reproduces the consumed input bytes exactly, and a
+// second decode round-trips to an identical value. The committed corpus
+// under testdata/fuzz/FuzzRead (valid, truncated and bit-flipped images;
+// see TestGenerateFuzzCorpus) is replayed by every plain `go test` run.
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Write(&valid, fuzzBaseSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated mid-points
+	f.Add(valid.Bytes()[:11])                   // truncated mid-header
+	flipped := bytes.Clone(valid.Bytes())
+	flipped[20] ^= 0x40 // corrupt a header field under the checksum
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("MXRQSNAP"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("bounded input: decode limits are exercised well below 1 MiB")
+		}
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("Read error does not wrap ErrInvalid: %v", err)
+			}
+			return
+		}
+		// Success: the snapshot must satisfy its own invariants ...
+		if err := s.validate(); err != nil {
+			t.Fatalf("Read accepted a snapshot its own validate rejects: %v", err)
+		}
+		// ... re-encode byte-identically (the format is canonical, and the
+		// CRC pins every preceding byte) ...
+		var out bytes.Buffer
+		if err := Write(&out, s); err != nil {
+			t.Fatalf("Write rejected a snapshot Read produced: %v", err)
+		}
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("re-encode diverges from accepted input (%d bytes in, %d re-encoded)", len(data), out.Len())
+		}
+		// ... and decode back to an identical value.
+		s2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatal("round-trip decode produced a different snapshot")
+		}
+	})
+}

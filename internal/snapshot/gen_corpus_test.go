@@ -1,0 +1,70 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus (re)generates the committed seed corpus under
+// testdata/fuzz/FuzzRead. It is skipped unless GEN_FUZZ_CORPUS=1, because
+// its job is to produce checked-in files, not to test anything:
+//
+//	GEN_FUZZ_CORPUS=1 go test ./internal/snapshot -run TestGenerateFuzzCorpus
+//
+// The corpus holds a valid snapshot image plus systematic truncations and
+// bit flips of it — the interesting entry points into the decoder (every
+// header field boundary, the checksum trailer) that random fuzzing would
+// otherwise have to rediscover. Plain `go test` replays every committed
+// entry through FuzzRead on every run.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz/FuzzRead")
+	}
+	var valid bytes.Buffer
+	if err := Write(&valid, fuzzBaseSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	img := valid.Bytes()
+
+	corpus := map[string][]byte{
+		"valid": img,
+		// Truncations at structurally meaningful offsets: mid-magic, after
+		// the magic, after the fixed header, mid-points, before the trailer.
+		"trunc-magic":   img[:4],
+		"trunc-header":  img[:8],
+		"trunc-fields":  img[:52],
+		"trunc-points":  img[:len(img)/2],
+		"trunc-trailer": img[:len(img)-2],
+	}
+	// One bit flip per region: version, a header length field, the points
+	// payload, the page section, the CRC trailer.
+	for name, off := range map[string]int{
+		"flip-version": 8,
+		"flip-count":   22,
+		"flip-points":  60,
+		"flip-pages":   len(img) - 40,
+		"flip-crc":     len(img) - 1,
+	} {
+		b := bytes.Clone(img)
+		b[off] ^= 0x01
+		corpus[name] = b
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpus {
+		// The Go fuzzing corpus file format: a version line, then one
+		// quoted Go value per fuzz argument.
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(corpus), dir)
+}

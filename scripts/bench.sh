@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the paper-figure benchmarks plus the hot-path micro
-# benchmarks and emit a machine-readable BENCH_PR6.json: ns/op, B/op and
+# benchmarks and emit a machine-readable BENCH_PR7.json: ns/op, B/op and
 # allocs/op per benchmark, the intra-query parallel speedup
 # (BenchmarkQueryParallelism workers=1 vs the largest worker count), and
 # the batch-sharing speedup (BenchmarkBatchSharing fca_d2_disk share=false
@@ -25,11 +25,13 @@
 #                    ~0 for the pooled LP solver — is not warmup noise)
 #
 # The parallel speedup is meaningful only on a multi-core machine; the
-# JSON records gomaxprocs so readers can tell. On machines with >= 8 cores
-# the script enforces the PR 3 acceptance criterion — the workers=8
-# single-query speedup must reach MIN_SPEEDUP (default 1.8) — and exits
-# non-zero otherwise, so a regression that silently serialises the
-# parallel path fails the run. Set MIN_SPEEDUP=0 to disable the gate.
+# JSON records gomaxprocs so readers can tell. On machines with >= 4 cores
+# the script enforces the PR 3 acceptance criterion: the measured
+# single-query speedup must reach MIN_SPEEDUP — default 1.8 at >= 8 cores,
+# 1.5 at 4-7 cores (4-vCPU CI runners cannot reach the 8-core bar, but a
+# regression that silently serialises the parallel path still shows as
+# < 1.5 there) — and exits non-zero otherwise. Set MIN_SPEEDUP=0 to
+# disable the gate.
 #
 # The batch-sharing speedup is pure work reduction (one shared
 # classification pass instead of one per clustered focal), so it shows at
@@ -40,7 +42,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR6.json}
+OUT=${1:-BENCH_PR7.json}
 BENCHTIME=${BENCHTIME:-5x}
 BENCH_COUNT=${BENCH_COUNT:-3}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
@@ -124,10 +126,14 @@ END {
 
 echo "wrote $OUT" >&2
 
-# Acceptance gate: on a machine that can actually exhibit the speedup
-# (>= 8 cores), require the measured workers=8 speedup to clear the bar.
-MIN_SPEEDUP=${MIN_SPEEDUP:-1.8}
-if [ "$GOMAXPROCS" -ge 8 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
+# Acceptance gate: on a machine that can actually exhibit a speedup
+# (>= 4 cores), require the measured speedup to clear a bar scaled to
+# the core count: the full 1.8 where 8 workers can run in parallel, a
+# still-regression-catching 1.5 on the 4-7 core machines CI provides.
+if [ -z "${MIN_SPEEDUP:-}" ]; then
+    if [ "$GOMAXPROCS" -ge 8 ]; then MIN_SPEEDUP=1.8; else MIN_SPEEDUP=1.5; fi
+fi
+if [ "$GOMAXPROCS" -ge 4 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
     SPEEDUP=$(awk -F'"speedup": ' '/parallel_speedup/ { split($2, a, "}"); print a[1] }' "$OUT")
     if [ -z "$SPEEDUP" ]; then
         echo "FAIL: no parallel_speedup recorded in $OUT" >&2
@@ -139,7 +145,7 @@ if [ "$GOMAXPROCS" -ge 8 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
     fi
     echo "parallel speedup $SPEEDUP >= $MIN_SPEEDUP (GOMAXPROCS=$GOMAXPROCS): OK" >&2
 else
-    echo "note: speedup gate skipped (GOMAXPROCS=$GOMAXPROCS < 8 or MIN_SPEEDUP=0)" >&2
+    echo "note: speedup gate skipped (GOMAXPROCS=$GOMAXPROCS < 4 or MIN_SPEEDUP=0)" >&2
 fi
 
 # PR 6 acceptance gate: batch sharing is work reduction, not parallelism,

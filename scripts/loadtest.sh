@@ -1,35 +1,45 @@
 #!/usr/bin/env bash
 # loadtest.sh — drive maxrankd with cmd/loadtest and measure tail latency
-# under bursty clustered traffic, with request coalescing off versus on.
+# and goodput under bursty clustered traffic. Two experiments:
+#
+#  1. Coalescing (PR 6): request coalescing off versus on, past the
+#     uncoalesced server's saturation point. The coalesced server merges
+#     concurrent bursts into shared QueryGroups and sustains more
+#     throughput at roughly half the p99.
+#
+#  2. Overload / admission control (PR 7): the same saturating workload
+#     offered at 1x and then 2x, with admission control on
+#     (-max-inflight/-queue-depth: bounded accept queue, early 429,
+#     deadline-aware 503, Retry-After) and — for contrast — at 2x with it
+#     off. Gates (QUICK and full):
+#       * goodput at 2x offered load >= OVERLOAD_GOODPUT_MIN (default
+#         70%) of goodput at 1x — shedding keeps the server doing useful
+#         work at capacity instead of collapsing;
+#       * p99 of served requests at 2x stays under the request timeout —
+#         bounded tail, because excess load is refused at the door
+#         instead of queueing unboundedly.
+#     Full mode additionally requires the admission-off 2x run to show
+#     the failure being prevented: worse p99 than the admission-on run.
 #
 # The scenario is the one batch sharing is built for: FCA at d = 2 over a
 # page-latency ("disk") dataset, bursts of queries clustered around a hot
 # focal, injected faster than the server can scan for each one
-# individually. With -coalesce 0 every request pays its own full index
-# scan; with a few-ms window the server merges concurrent requests into
-# one shared QueryGroup and the group pays the classification scan once.
-#
-# The injection rate deliberately sits past the uncoalesced server's
-# saturation point (~650 req/s for the default workload on one core):
-# below it, independent handlers overlap their simulated page waits and
-# per-request latency wins, while coalescing adds group wait — its value
-# is aggregate work reduction, which only shows once demand exceeds what
-# per-request execution can clear. Under that overload the coalesced
-# server sustains ~20% more throughput at roughly half the p99.
+# individually (~650 req/s uncoalesced on one core for the defaults).
 #
 # Usage:
 #   scripts/loadtest.sh [out-dir]
 #
 # Environment:
-#   QUICK=1        CI smoke mode: small dataset, short runs. Asserts only
-#                  that both runs complete with finite non-zero p99.
-#                  The full mode additionally requires coalesce-on p99 to
-#                  beat coalesce-off.
+#   QUICK=1        CI smoke mode: small dataset, short runs. Asserts
+#                  finite non-zero p99s plus the two overload gates
+#                  above. Full mode adds the coalesce-on-beats-off p99
+#                  gate and the admission-off collapse contrast.
 #   PORT           listen port for the scratch server (default 18491)
 #   BENCH          BENCH_PR*.json report to splice the results into as a
-#                  "loadtest" object (default BENCH_PR6.json; skipped
+#                  "loadtest" object (default BENCH_PR7.json; skipped
 #                  when the file does not exist or SPLICE=0)
-#   N, DIM, PAGE_LATENCY, RATE, BURST, DURATION, COALESCE
+#   N, DIM, PAGE_LATENCY, RATE, BURST, DURATION, COALESCE,
+#   MAX_INFLIGHT, QUEUE_DEPTH, REQUEST_TIMEOUT, OVERLOAD_GOODPUT_MIN
 #                  workload knobs; defaults below per mode
 #
 # Requires only the Go toolchain and awk.
@@ -39,7 +49,7 @@ cd "$(dirname "$0")/.."
 QUICK=${QUICK:-0}
 PORT=${PORT:-18491}
 OUT_DIR=${1:-loadtest-out}
-BENCH=${BENCH:-BENCH_PR6.json}
+BENCH=${BENCH:-BENCH_PR7.json}
 SPLICE=${SPLICE:-1}
 
 DIM=${DIM:-2}
@@ -57,6 +67,14 @@ else
     DURATION=${DURATION:-10s}
 fi
 COALESCE=${COALESCE:-4ms}
+# Overload knobs. The 1x rate sits at the uncoalesced server's capacity;
+# the 2x run doubles it. The request timeout is deliberately short so the
+# deadline shedder has something to protect, and so "p99 bounded" has a
+# hard number to be bounded BY.
+MAX_INFLIGHT=${MAX_INFLIGHT:-16}
+QUEUE_DEPTH=${QUEUE_DEPTH:-128}
+REQUEST_TIMEOUT=${REQUEST_TIMEOUT:-2s}
+OVERLOAD_GOODPUT_MIN=${OVERLOAD_GOODPUT_MIN:-0.70}
 
 BIN=$(mktemp -d)
 SRV_PID=""
@@ -72,16 +90,22 @@ go build -o "$BIN/maxrankd" ./cmd/maxrankd
 go build -o "$BIN/loadtest" ./cmd/loadtest
 mkdir -p "$OUT_DIR"
 
-# one_run <coalesce-window> <out.json> <label>
+# one_run <coalesce-window> <rate> <admission: "off" | "max-inflight queue-depth"> <out.json> <label>
 one_run() {
-    local window=$1 out=$2 label=$3
+    local window=$1 rate=$2 admission=$3 out=$4 label=$5
+    local admit_flags=""
+    if [ "$admission" != "off" ]; then
+        admit_flags="-max-inflight ${admission% *} -queue-depth ${admission#* }"
+    fi
+    # shellcheck disable=SC2086
     "$BIN/maxrankd" -addr "127.0.0.1:$PORT" \
         -gen IND -n "$N" -dim "$DIM" -seed 1 \
         -cache 0 -batch-share -page-latency "$PAGE_LATENCY" \
-        -coalesce "$window" >"$OUT_DIR/$label.server.log" 2>&1 &
+        -request-timeout "$REQUEST_TIMEOUT" \
+        -coalesce "$window" $admit_flags >"$OUT_DIR/$label.server.log" 2>&1 &
     SRV_PID=$!
     "$BIN/loadtest" -url "http://127.0.0.1:$PORT" \
-        -mode open -rate "$RATE" -burst "$BURST" -duration "$DURATION" \
+        -mode open -rate "$rate" -burst "$BURST" -duration "$DURATION" \
         -mix clustered -clusters 1 -spread 0.02 -algorithm fca -seed 7 \
         -label "$label" -out "$out"
     kill "$SRV_PID" 2>/dev/null || true
@@ -89,16 +113,19 @@ one_run() {
     SRV_PID=""
 }
 
-echo "run 1/2: coalescing off (every request scans alone)..." >&2
-one_run 0 "$OUT_DIR/coalesce_off.json" coalesce_off
-echo "run 2/2: coalescing $COALESCE (bursts merge into shared groups)..." >&2
-one_run "$COALESCE" "$OUT_DIR/coalesce_on.json" coalesce_on
-
-p99_of() {
-    awk -F': ' '/"p99_ms"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+field_of() {
+    awk -F': ' '/"'"$2"'"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
 }
-P99_OFF=$(p99_of "$OUT_DIR/coalesce_off.json")
-P99_ON=$(p99_of "$OUT_DIR/coalesce_on.json")
+
+# --- Experiment 1: coalescing off vs on at the saturating rate --------------
+
+echo "run 1/5: coalescing off (every request scans alone)..." >&2
+one_run 0 "$RATE" off "$OUT_DIR/coalesce_off.json" coalesce_off
+echo "run 2/5: coalescing $COALESCE (bursts merge into shared groups)..." >&2
+one_run "$COALESCE" "$RATE" off "$OUT_DIR/coalesce_on.json" coalesce_on
+
+P99_OFF=$(field_of "$OUT_DIR/coalesce_off.json" p99_ms)
+P99_ON=$(field_of "$OUT_DIR/coalesce_on.json" p99_ms)
 
 for v in "$P99_OFF" "$P99_ON"; do
     if [ -z "$v" ] || ! awk 'BEGIN { exit !('"$v"' > 0) }'; then
@@ -116,6 +143,58 @@ if [ "$QUICK" != "1" ]; then
     echo "coalescing improves burst p99: OK" >&2
 fi
 
+# --- Experiment 2: admission control under 2x overload ----------------------
+
+RATE2=$(awk 'BEGIN { print 2 * '"$RATE"' }')
+ADMIT="$MAX_INFLIGHT $QUEUE_DEPTH"
+
+echo "run 3/5: admission on ($ADMIT), 1x offered load ($RATE req/s)..." >&2
+one_run 0 "$RATE" "$ADMIT" "$OUT_DIR/admit_1x.json" admit_1x
+echo "run 4/5: admission on ($ADMIT), 2x offered load ($RATE2 req/s)..." >&2
+one_run 0 "$RATE2" "$ADMIT" "$OUT_DIR/admit_2x.json" admit_2x
+
+GOOD_1X=$(field_of "$OUT_DIR/admit_1x.json" goodput_rps)
+GOOD_2X=$(field_of "$OUT_DIR/admit_2x.json" goodput_rps)
+P99_2X=$(field_of "$OUT_DIR/admit_2x.json" p99_ms)
+SHED_2X=$(awk 'BEGIN { s4=0; s5=0 } /"shed_429"/ { gsub(/[ ,]/,"",$2); s4=$2 } /"shed_503"/ { gsub(/[ ,]/,"",$2); s5=$2 } END { print s4+s5 }' FS=': ' "$OUT_DIR/admit_2x.json")
+
+for v in "$GOOD_1X" "$GOOD_2X" "$P99_2X"; do
+    if [ -z "$v" ] || ! awk 'BEGIN { exit !('"$v"' > 0) }'; then
+        echo "FAIL: overload run metric missing (goodput 1x=$GOOD_1X 2x=$GOOD_2X p99 2x=$P99_2X)" >&2
+        exit 1
+    fi
+done
+
+# Gate A: goodput at 2x offered >= OVERLOAD_GOODPUT_MIN of goodput at 1x.
+if awk 'BEGIN { exit !('"$GOOD_2X"' < '"$OVERLOAD_GOODPUT_MIN"' * '"$GOOD_1X"') }'; then
+    echo "FAIL: goodput collapsed under 2x overload: ${GOOD_2X} < ${OVERLOAD_GOODPUT_MIN} * ${GOOD_1X} req/s" >&2
+    exit 1
+fi
+# Gate B: p99 of served requests stays under the request timeout — the
+# structural bound shedding is supposed to enforce (uncapped queues let
+# served latency grow toward the client timeout instead).
+TIMEOUT_MS=$(awk 'BEGIN { t="'"$REQUEST_TIMEOUT"'"; mult = 1000; if (t ~ /ms$/) { mult = 1 } sub(/[a-z]+$/, "", t); print t * mult }')
+if awk 'BEGIN { exit !('"$P99_2X"' > '"$TIMEOUT_MS"') }'; then
+    echo "FAIL: p99 at 2x overload not bounded: ${P99_2X} ms > request timeout ${TIMEOUT_MS} ms" >&2
+    exit 1
+fi
+echo "overload gates: goodput 2x/1x = ${GOOD_2X}/${GOOD_1X} req/s (>= ${OVERLOAD_GOODPUT_MIN}), p99 2x = ${P99_2X} ms <= ${TIMEOUT_MS} ms, shed = ${SHED_2X}: OK" >&2
+
+if [ "$QUICK" != "1" ]; then
+    echo "run 5/5: admission OFF, 2x offered load (the collapse being prevented)..." >&2
+    one_run 0 "$RATE2" off "$OUT_DIR/noadmit_2x.json" noadmit_2x
+    P99_NOADMIT=$(field_of "$OUT_DIR/noadmit_2x.json" p99_ms)
+    GOOD_NOADMIT=$(field_of "$OUT_DIR/noadmit_2x.json" goodput_rps)
+    echo "admission off at 2x: goodput ${GOOD_NOADMIT} req/s, p99 ${P99_NOADMIT} ms" >&2
+    # Contrast gate: without admission the served tail must be worse —
+    # that latency IS the unbounded queueing the shedder removes.
+    if awk 'BEGIN { exit !('"$P99_2X"' >= '"$P99_NOADMIT"') }'; then
+        echo "FAIL: admission control did not improve overload p99 (${P99_2X} ms >= ${P99_NOADMIT} ms)" >&2
+        exit 1
+    fi
+    echo "admission control bounds the overload tail: OK" >&2
+fi
+
 if [ "$SPLICE" = "1" ] && [ -f "$BENCH" ]; then
     # The bench report ends "  ]\n}"; drop the closing brace, append the
     # loadtest object as one more top-level member, close again.
@@ -126,6 +205,14 @@ if [ "$SPLICE" = "1" ] && [ -f "$BENCH" ]; then
         sed 's/^/    /' "$OUT_DIR/coalesce_off.json"
         echo '    ,"coalesce_on":'
         sed 's/^/    /' "$OUT_DIR/coalesce_on.json"
+        echo '    ,"admit_1x":'
+        sed 's/^/    /' "$OUT_DIR/admit_1x.json"
+        echo '    ,"admit_2x":'
+        sed 's/^/    /' "$OUT_DIR/admit_2x.json"
+        if [ -f "$OUT_DIR/noadmit_2x.json" ]; then
+            echo '    ,"noadmit_2x":'
+            sed 's/^/    /' "$OUT_DIR/noadmit_2x.json"
+        fi
         echo '  }'
         echo '}'
     } >>"$BENCH"

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WithAdmission bounds what each served dataset is allowed to execute
+// concurrently: at most maxInflight query/batch executions run at once,
+// up to queueDepth more wait in a bounded accept queue, and everything
+// beyond that is rejected early with 429 instead of being accepted into
+// an unbounded backlog the server cannot serve. Queued requests are
+// deadline-aware: a request whose remaining deadline cannot cover the
+// dataset's estimated service time (the p50 of its recent latency ring)
+// is shed with 503 the moment that becomes true, rather than holding a
+// queue slot it can only waste. Both rejections carry a Retry-After
+// header computed from the observed latency quantiles, so well-behaved
+// clients back off for roughly one queue-drain interval.
+//
+// Status semantics: 429 Too Many Requests means "the accept queue is
+// full — the offered load exceeds capacity, send slower"; 503 Service
+// Unavailable means "admitted to the queue, but your deadline cannot be
+// met under the current backlog". Both are per-dataset conditions, not
+// process failures, and both are counted (admitted / shed_queue_full /
+// shed_deadline) in /v1/stats and expvar.
+//
+// Coalesced execution (WithCoalescing) counts each sealed group as ONE
+// admission unit — a burst that merges into one shared computation
+// occupies one execution slot, which is exactly why coalescing helps at
+// saturation — while its waiters stay individually deadline-aware: a
+// waiter whose deadline cannot be met sheds alone with 503, leaving the
+// rest of its group unharmed.
+//
+// maxInflight <= 0 (the default) disables admission control entirely;
+// queueDepth < 0 is treated as 0 (no queue: the limit is a hard cap).
+func WithAdmission(maxInflight, queueDepth int) Option {
+	return func(s *Server) {
+		s.admitLimit = maxInflight
+		if queueDepth > 0 {
+			s.admitDepth = queueDepth
+		}
+	}
+}
+
+// AdmissionEnabled reports whether the server was built with admission
+// control (WithAdmission with a positive in-flight limit).
+func (s *Server) AdmissionEnabled() bool { return s.admitLimit > 0 }
+
+// gate is one dataset's admission state: a slot semaphore sized at the
+// in-flight limit, a counted (not materialised) wait queue, and the
+// shed/admit counters. Gates are created lazily per dataset name and
+// dropped on detach; the server-level counters (Server.admitted et al.)
+// stay cumulative across gate lifetimes.
+type gate struct {
+	limit int
+	depth int
+	slots chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	inflight int
+	hwm      int // high-water mark of concurrently held slots
+
+	admitted      atomic.Int64
+	shedQueueFull atomic.Int64
+	shedDeadline  atomic.Int64
+}
+
+// AdmissionStats is one dataset's slice of the admission counters in
+// GET /v1/stats. Admitted and the shed counters are cumulative for the
+// gate's lifetime (a detach discards the gate; the server-level totals
+// in ServerStats survive it); Inflight and Queued are instantaneous.
+type AdmissionStats struct {
+	// MaxInflight and QueueDepth echo the configured bounds.
+	MaxInflight int `json:"max_inflight"`
+	QueueDepth  int `json:"queue_depth"`
+	// Inflight is the number of admission units executing right now;
+	// Queued is the number waiting for a slot.
+	Inflight int `json:"inflight"`
+	Queued   int `json:"queued"`
+	// Admitted counts requests that obtained an execution slot.
+	Admitted int64 `json:"admitted"`
+	// ShedQueueFull counts requests rejected with 429 because the accept
+	// queue was full; ShedDeadline counts queued requests dropped with 503
+	// because their deadline could no longer be met.
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+}
+
+// shedError is the typed rejection of an admission decision. It maps to
+// its own HTTP status and carries the Retry-After the response must
+// advertise.
+type shedError struct {
+	status     int    // 429 (queue full) or 503 (deadline shed)
+	retryAfter int    // whole seconds, >= 1
+	reason     string // human-readable cause
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("overloaded: %s (retry after %ds)", e.reason, e.retryAfter)
+}
+
+// gate returns the dataset's admission gate, creating it on first use,
+// or nil when admission control is disabled.
+func (s *Server) gate(name string) *gate {
+	if s.admitLimit <= 0 {
+		return nil
+	}
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	g := s.gates[name]
+	if g == nil {
+		g = &gate{
+			limit: s.admitLimit,
+			depth: s.admitDepth,
+			slots: make(chan struct{}, s.admitLimit),
+		}
+		s.gates[name] = g
+	}
+	return g
+}
+
+// dropGate discards the named dataset's gate on detach. In-flight
+// requests still hold references to the old gate object and release into
+// it harmlessly; a later dataset under the same name starts fresh. The
+// server-level cumulative counters are untouched.
+func (s *Server) dropGate(name string) {
+	if s.admitLimit <= 0 {
+		return
+	}
+	s.gateMu.Lock()
+	delete(s.gates, name)
+	s.gateMu.Unlock()
+}
+
+// admissionStats snapshots the named dataset's gate counters, or nil
+// when admission control is off or the dataset has never been queried.
+func (s *Server) admissionStats(name string) *AdmissionStats {
+	if s.admitLimit <= 0 {
+		return nil
+	}
+	s.gateMu.Lock()
+	g := s.gates[name]
+	s.gateMu.Unlock()
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	st := &AdmissionStats{
+		MaxInflight: g.limit,
+		QueueDepth:  g.depth,
+		Inflight:    g.inflight,
+		Queued:      g.queued,
+	}
+	g.mu.Unlock()
+	st.Admitted = g.admitted.Load()
+	st.ShedQueueFull = g.shedQueueFull.Load()
+	st.ShedDeadline = g.shedDeadline.Load()
+	return st
+}
+
+// admit asks the named dataset's gate for one execution slot, on behalf
+// of weight requests (1 for a direct query or batch, the waiter count
+// for a coalesced group). It returns a release function that must be
+// called exactly once when the execution finishes (idempotent: extra
+// calls are no-ops), or a *shedError when the request was shed:
+//
+//   - 429 shed_queue_full when all slots are busy and the accept queue
+//     is at queueDepth;
+//   - 503 shed_deadline when ctx carries a deadline that the estimated
+//     service time (the dataset's p50) can no longer be met within —
+//     checked at enqueue, and again by a timer that fires the moment
+//     waiting any longer would make the deadline unmeetable.
+//
+// A ctx cancelled while queued (client disconnect) returns ctx.Err()
+// and counts as neither admitted nor shed, so absent disconnects
+// admitted + shed_queue_full + shed_deadline equals the offered load.
+func (s *Server) admit(ctx context.Context, name string, weight int64) (release func(), err error) {
+	g := s.gate(name)
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return s.grantSlot(g, weight), nil
+	default:
+	}
+	// All slots busy: try to queue.
+	g.mu.Lock()
+	if g.queued >= g.depth {
+		g.mu.Unlock()
+		g.shedQueueFull.Add(weight)
+		s.shedQueueFull.Add(weight)
+		return nil, &shedError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: s.retryAfterSeconds(name, g),
+			reason:     "admission queue full",
+		}
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+
+	// Deadline-aware wait: shed at the last instant the request could
+	// still be started and finish by its deadline, assuming the dataset's
+	// estimated (p50) service time. The estimate is sampled once, at
+	// enqueue — a deliberate simplification documented in
+	// docs/OPERATIONS.md.
+	var shedC <-chan time.Time
+	if deadline, ok := ctx.Deadline(); ok {
+		budget := time.Until(deadline) - s.estimateService(name)
+		if budget <= 0 {
+			g.shedDeadline.Add(weight)
+			s.shedDeadline.Add(weight)
+			return nil, &shedError{
+				status:     http.StatusServiceUnavailable,
+				retryAfter: s.retryAfterSeconds(name, g),
+				reason:     "deadline cannot be met in queue",
+			}
+		}
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		shedC = timer.C
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return s.grantSlot(g, weight), nil
+	case <-shedC:
+		g.shedDeadline.Add(weight)
+		s.shedDeadline.Add(weight)
+		return nil, &shedError{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: s.retryAfterSeconds(name, g),
+			reason:     "deadline cannot be met in queue",
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// grantSlot records a successful admission (the caller already holds a
+// slot) and returns its idempotent release function.
+func (s *Server) grantSlot(g *gate, weight int64) func() {
+	g.admitted.Add(weight)
+	s.admitted.Add(weight)
+	g.mu.Lock()
+	g.inflight++
+	if g.inflight > g.hwm {
+		g.hwm = g.inflight
+	}
+	g.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inflight--
+			g.mu.Unlock()
+			<-g.slots
+		})
+	}
+}
+
+// estimateService is the service-time estimate the deadline shedder
+// plans with: the p50 of the dataset's recent query latencies (0 when no
+// query has completed yet, which disables the enqueue-time check and
+// sheds purely on the deadline itself).
+func (s *Server) estimateService(name string) time.Duration {
+	p50, _ := s.latencyEstimate(name)
+	return time.Duration(p50 * float64(time.Millisecond))
+}
+
+// retryAfterSeconds computes the Retry-After a shed response advertises:
+// the time the current queue needs to drain at one estimated service
+// time (p50) per slot, rounded up to whole seconds and clamped to
+// [1, 60] — an honest "come back when the backlog you were rejected
+// behind should be gone", not a fixed magic number.
+func (s *Server) retryAfterSeconds(name string, g *gate) int {
+	p50, _ := s.latencyEstimate(name)
+	g.mu.Lock()
+	queued := g.queued
+	limit := g.limit
+	g.mu.Unlock()
+	if limit < 1 {
+		limit = 1
+	}
+	drainMs := float64(queued+1) * p50 / float64(limit)
+	secs := int(math.Ceil(drainMs / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

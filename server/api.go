@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro"
@@ -129,6 +130,10 @@ type DatasetEntry struct {
 	// Latency reports the dataset's query-latency quantiles over the most
 	// recent successful /v1/query requests; absent until a query completes.
 	Latency *LatencyStats `json:"latency,omitempty"`
+	// Admission reports the dataset's admission-control counters; absent
+	// when the server runs without WithAdmission or before the dataset's
+	// first gated request.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // DatasetStats describes one served dataset.
@@ -211,6 +216,12 @@ type ServerStats struct {
 	// WithCoalescing); both stay zero with coalescing disabled.
 	CoalescedQueries int64 `json:"coalesced_queries"`
 	CoalescedGroups  int64 `json:"coalesced_groups"`
+	// Admitted, ShedQueueFull and ShedDeadline are the admission-control
+	// totals (see WithAdmission), cumulative across dataset detach and
+	// version swaps; all zero with admission disabled.
+	Admitted      int64 `json:"admitted"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -248,9 +259,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var res *repro.Result
 	if s.coal != nil {
+		// Admission happens per coalesced GROUP (one unit per shared
+		// execution), inside the coalescer; waiters shed individually.
 		res, err = s.coalescedQuery(ctx, name, eng, &req, opts)
 	} else {
-		res, err = s.directQuery(ctx, eng, &req, opts)
+		var admitRelease func()
+		admitRelease, err = s.admit(ctx, name, 1)
+		if err == nil {
+			res, err = s.directQuery(ctx, eng, &req, opts)
+			admitRelease()
+		}
 	}
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
@@ -289,7 +307,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	eng, _, release, err := s.reg.resolve(req.Dataset)
+	eng, name, release, err := s.reg.resolve(req.Dataset)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		return
@@ -297,7 +315,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	// A batch is one admission unit: it already executes as one shared
+	// computation on the engine's worker pool.
+	admitRelease, err := s.admit(ctx, name, 1)
+	if err != nil {
+		s.fail(w, queryStatus(err), err)
+		return
+	}
 	results, err := eng.QueryBatch(ctx, req.Focals, opts...)
+	admitRelease()
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
 		return
@@ -321,6 +347,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			UptimeSeconds:    time.Since(s.start).Seconds(),
 			CoalescedQueries: s.coalescedQueries.Load(),
 			CoalescedGroups:  s.coalescedGroups.Load(),
+			Admitted:         s.admitted.Load(),
+			ShedQueueFull:    s.shedQueueFull.Load(),
+			ShedDeadline:     s.shedDeadline.Load(),
 		},
 	}
 	s.reg.forEach(func(name string, eng *repro.Engine, version uint64, stats repro.EngineStats) {
@@ -333,9 +362,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			},
 			// Cumulative across versions: mutations swap engines in, but
 			// the counters must not reset with each swap.
-			Engine:  stats,
-			Version: version,
-			Latency: s.latencyStats(name),
+			Engine:    stats,
+			Version:   version,
+			Latency:   s.latencyStats(name),
+			Admission: s.admissionStats(name),
 		}
 	})
 	// The legacy mirror fields reuse the per-dataset entry captured above,
@@ -511,6 +541,7 @@ func (s *Server) handleDetachDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dropLatency(name)
+	s.dropGate(name)
 	s.logf("server: detached dataset %q", name)
 	s.reply(w, http.StatusOK, map[string]string{"status": "removed", "dataset": name})
 }
@@ -550,21 +581,31 @@ func (s *Server) reply(w http.ResponseWriter, status int, body any) {
 	}
 }
 
-// fail writes a JSON error response and counts it.
+// fail writes a JSON error response and counts it. A shed rejection
+// (admission control) additionally advertises its Retry-After so clients
+// know when the backlog they were rejected behind should have drained.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	s.errors.Add(1)
+	var shed *shedError
+	if errors.As(err, &shed) {
+		w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
+	}
 	s.logf("server: %d: %v", status, err)
 	s.reply(w, status, ErrorResponse{Error: err.Error()})
 }
 
 // queryStatus maps a query error to an HTTP status: request-caused
-// failures (repro.ErrBadQuery) are 400, deadline overruns 504, client
+// failures (repro.ErrBadQuery) are 400, admission sheds carry their own
+// status (429 queue-full / 503 deadline), deadline overruns 504, client
 // disconnects 408, and anything else is a genuine internal failure, 500 —
 // so 5xx-based alerting sees engine bugs rather than blaming the client.
 func queryStatus(err error) int {
+	var shed *shedError
 	switch {
 	case errors.Is(err, repro.ErrBadQuery):
 		return http.StatusBadRequest
+	case errors.As(err, &shed):
+		return shed.status
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"strconv"
 	"sync"
 	"time"
@@ -57,6 +58,7 @@ type coalescer struct {
 type coalesceGroup struct {
 	c       *coalescer
 	key     string
+	name    string // resolved dataset name (admission gate + registry pin)
 	eng     *repro.Engine
 	release func()         // the group's own registry pin (drain correctness)
 	opts    []repro.Option // shared by construction: the key encodes them
@@ -100,7 +102,7 @@ func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts []repro.Op
 		if err != nil {
 			return nil, nil, false
 		}
-		g = &coalesceGroup{c: c, key: key, eng: eng, release: release, opts: opts}
+		g = &coalesceGroup{c: c, key: key, name: name, eng: eng, release: release, opts: opts}
 		g.timer = time.AfterFunc(c.window, func() { c.run(g) })
 		c.groups[key] = g
 	}
@@ -153,6 +155,27 @@ func (c *coalescer) run(g *coalesceGroup) {
 		// Every waiter gave up before the window closed; skip the work.
 		return
 	}
+	// The sealed group is ONE admission unit: however many waiters merged
+	// into it, the shared execution occupies one slot — coalescing under
+	// overload admits bursts at the cost of single queries. The group's
+	// own ctx (server-timeout bounded) governs its queue wait; waiters
+	// with tighter deadlines shed themselves individually while the group
+	// is queued (see coalescedQuery). Counters are per waiter still
+	// listening, so the stats reflect request-level admission.
+	g.mu.Lock()
+	weight := int64(g.refs)
+	g.mu.Unlock()
+	if weight < 1 {
+		weight = 1
+	}
+	admitRelease, err := c.s.admit(ctx, g.name, weight)
+	if err != nil {
+		for _, ch := range replies {
+			ch <- coalesceReply{err: err}
+		}
+		return
+	}
+	defer admitRelease()
 	c.s.coalescedQueries.Add(int64(len(focals)))
 	c.s.coalescedGroups.Add(1)
 	out := g.eng.QueryGroup(ctx, focals, g.opts...)
@@ -180,7 +203,11 @@ func (g *coalesceGroup) drop() {
 
 // coalescedQuery runs one /v1/query through the coalescer, waiting for
 // the group's shared execution, and falls back to direct execution when
-// the dataset is being detached.
+// the dataset is being detached. With admission control on, the waiter is
+// individually deadline-aware: while its group sits in the admission
+// queue, a waiter whose own deadline can no longer cover the estimated
+// service time sheds alone (503 + Retry-After) instead of burning its
+// remaining budget waiting — the rest of the group is unharmed.
 func (s *Server) coalescedQuery(ctx context.Context, name string, eng *repro.Engine, req *QueryRequest, opts []repro.Option) (*repro.Result, error) {
 	var f repro.Focal
 	if req.Focal != nil {
@@ -190,13 +217,60 @@ func (s *Server) coalescedQuery(ctx context.Context, name string, eng *repro.Eng
 	}
 	ch, drop, ok := s.coal.enqueue(name, coalesceKey(name, eng, req), eng, opts, f)
 	if !ok {
+		// Detach race: execute directly, under the same admission rules
+		// as the uncoalesced path.
+		release, err := s.admit(ctx, name, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		return s.directQuery(ctx, eng, req, opts)
+	}
+	var shedC <-chan time.Time
+	if s.AdmissionEnabled() {
+		if deadline, dok := ctx.Deadline(); dok {
+			if budget := time.Until(deadline) - s.estimateService(name); budget > 0 {
+				timer := time.NewTimer(budget)
+				defer timer.Stop()
+				shedC = timer.C
+			} else {
+				shedC = closedTimeC
+			}
+		}
 	}
 	select {
 	case rep := <-ch:
 		return rep.res, rep.err
+	case <-shedC:
+		drop()
+		s.shedDeadline.Add(1)
+		if g := s.gate(name); g != nil {
+			g.shedDeadline.Add(1)
+		}
+		return nil, &shedError{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: s.coalesceRetryAfter(name),
+			reason:     "deadline cannot be met in queue",
+		}
 	case <-ctx.Done():
 		drop()
 		return nil, ctx.Err()
 	}
+}
+
+// closedTimeC is an already-fired time channel: a waiter whose budget is
+// spent before it even starts waiting sheds on the first select pass.
+var closedTimeC = func() <-chan time.Time {
+	ch := make(chan time.Time)
+	close(ch)
+	return ch
+}()
+
+// coalesceRetryAfter is the waiter-side Retry-After: queue-drain time of
+// the dataset's gate, or 1s before any latency sample exists.
+func (s *Server) coalesceRetryAfter(name string) int {
+	if g := s.gate(name); g != nil {
+		return s.retryAfterSeconds(name, g)
+	}
+	return 1
 }

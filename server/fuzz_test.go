@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// fuzzServer lazily builds one small server per fuzz worker process for
+// the query fuzzer. Queries do not change the dataset, so the instance is
+// safe to share across fuzz iterations.
+var (
+	queryFuzzOnce sync.Once
+	queryFuzzSrv  *Server
+)
+
+func queryFuzzServer(t testing.TB) *Server {
+	queryFuzzOnce.Do(func() {
+		ds, err := repro.GenerateDataset("IND", 120, 3, 9)
+		if err != nil {
+			return
+		}
+		eng, err := repro.NewEngine(ds, repro.WithCache(32))
+		if err != nil {
+			return
+		}
+		queryFuzzSrv, _ = New(eng, WithLogger(nil), WithMaxBatch(16))
+	})
+	if queryFuzzSrv == nil {
+		t.Fatal("building fuzz server failed")
+	}
+	return queryFuzzSrv
+}
+
+// mutateFuzzServer hands out a server for the mutate fuzzer, rebuilding
+// it whenever accumulated fuzz-found mutations have drifted the dataset
+// far from its 200-record start — the guard that keeps thousands of fuzz
+// iterations from growing an ever-larger (ever-slower) dataset.
+var (
+	mutateFuzzMu  sync.Mutex
+	mutateFuzzSrv *Server
+)
+
+func mutateFuzzServer(t testing.TB) *Server {
+	mutateFuzzMu.Lock()
+	defer mutateFuzzMu.Unlock()
+	if mutateFuzzSrv != nil {
+		if eng := mutateFuzzSrv.Engine(); eng != nil {
+			if n := eng.Dataset().Len(); n >= 50 && n <= 1000 {
+				return mutateFuzzSrv
+			}
+		}
+		mutateFuzzSrv = nil
+	}
+	ds, err := repro.GenerateDataset("IND", 200, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, WithLogger(nil), WithMaxMutationOps(16),
+		// The mutate endpoint is gated on the admin loader; the loader
+		// itself is never exercised by the fuzzer.
+		WithSnapshotLoader(func(path string) (*repro.Engine, error) {
+			return nil, fmt.Errorf("unused")
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateFuzzSrv = srv
+	return srv
+}
+
+// fuzzPost drives one raw body through a handler and enforces the shared
+// decoder contract: no panic (the fuzz engine turns one into a crasher),
+// a status that is either success or a deliberate 4xx rejection — never a
+// 5xx from unvalidated input — and a well-formed JSON response body.
+func fuzzPost(t *testing.T, srv *Server, path string, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if !(rec.Code == http.StatusOK || (rec.Code >= 400 && rec.Code < 500)) {
+		t.Fatalf("POST %s with %q: status %d, want 200 or 4xx: %s", path, body, rec.Code, rec.Body.Bytes())
+	}
+	var js any
+	if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+		t.Fatalf("POST %s: non-JSON response body %q", path, rec.Body.Bytes())
+	}
+}
+
+// queryFuzzSeeds and mutateFuzzSeeds are the in-code seed corpora — the
+// same bodies are committed under testdata/fuzz/ by TestGenerateFuzzCorpus
+// so plain `go test` replays them even from a build cache that skipped
+// the f.Add path.
+var queryFuzzSeeds = [][]byte{
+	[]byte(`{"focal": 1, "tau": 1}`),
+	[]byte(`{"focal": 0, "tau": 0, "algorithm": "AA", "outrank_ids": true}`),
+	[]byte(`{"point": [0.25, 0.5, 0.75], "algorithm": "fca", "tau": 2, "max_regions": 3}`),
+	[]byte(`{"dataset": "nope", "focal": 1}`),
+	[]byte(`{"focal": -7}`),
+	[]byte(`{"focal": 999999, "tau": 1000000}`),
+	[]byte(`{"point": [1e308, -1e308, 0]}`),
+	[]byte(`{"point": []}`),
+	[]byte(`{"focal": 1, "point": [0.1, 0.2, 0.3]}`),
+	[]byte(`{"algorithm": "BOGUS"}`),
+	[]byte(`{`),
+	[]byte(`[]`),
+	[]byte(`null`),
+	[]byte(``),
+	[]byte(`{"focal": 1}trailing`),
+}
+
+var mutateFuzzSeeds = [][]byte{
+	[]byte(`{"ops": [{"insert": [0.1, 0.2, 0.3]}]}`),
+	[]byte(`{"ops": [{"delete": 0}]}`),
+	[]byte(`{"ops": [{"insert": [0.5, 0.5, 0.5]}, {"delete": 199}]}`),
+	[]byte(`{"ops": []}`),
+	[]byte(`{"ops": [{"insert": [0.1]}]}`),
+	[]byte(`{"ops": [{"insert": [1e309, 0, 0]}]}`),
+	[]byte(`{"ops": [{"delete": -1}]}`),
+	[]byte(`{"ops": [{"delete": 100000000}]}`),
+	[]byte(`{"ops": [{"insert": [0.1, 0.2, 0.3], "delete": 1}]}`),
+	[]byte(`{"ops": [{}]}`),
+	[]byte(`{`),
+	[]byte(`null`),
+	[]byte(``),
+}
+
+// FuzzQueryRequest fuzzes the /v1/query JSON decoder and validation
+// stack end to end through the handler: arbitrary bodies must yield a
+// clean 200 or a typed 4xx, never a panic or an internal error.
+func FuzzQueryRequest(f *testing.F) {
+	for _, seed := range queryFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			t.Skip("request bodies beyond 64 KiB add no decoder coverage")
+		}
+		fuzzPost(t, queryFuzzServer(t), "/v1/query", body)
+	})
+}
+
+// FuzzMutateRequest fuzzes the /v1/datasets/{name}/mutate decoder and
+// validation: arbitrary op lists — wrong dimensionality, out-of-range
+// deletes, non-finite numbers, op-count overflows — must be rejected
+// with a 4xx (or applied cleanly), never panic, and never corrupt the
+// served dataset for subsequent iterations.
+func FuzzMutateRequest(f *testing.F) {
+	for _, seed := range mutateFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			t.Skip("request bodies beyond 64 KiB add no decoder coverage")
+		}
+		fuzzPost(t, mutateFuzzServer(t), "/v1/datasets/default/mutate", body)
+	})
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus (re)generates the committed seed corpora under
+// testdata/fuzz/{FuzzQueryRequest,FuzzMutateRequest} from the in-code
+// seed lists in fuzz_test.go. Skipped unless GEN_FUZZ_CORPUS=1:
+//
+//	GEN_FUZZ_CORPUS=1 go test ./server -run TestGenerateFuzzCorpus
+//
+// Plain `go test` replays every committed entry on every run.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	for target, seeds := range map[string][][]byte{
+		"FuzzQueryRequest":  queryFuzzSeeds,
+		"FuzzMutateRequest": mutateFuzzSeeds,
+	} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d corpus entries to %s", len(seeds), dir)
+	}
+}

@@ -23,7 +23,21 @@ type latRing struct {
 	filled  bool
 	count   int64   // lifetime successful queries, not capped by the window
 	max     float64 // lifetime maximum
+
+	// Cached p50/p95 for the admission controller, which consults the
+	// ring on every shed decision and must not pay a 4096-sample sort
+	// each time. Recomputed at most once per estRecompute, and only when
+	// new samples arrived since the last computation.
+	estAt    time.Time
+	estCount int64
+	estP50   float64
+	estP95   float64
 }
+
+// estRecompute bounds how often estimate() re-sorts the ring. 100ms is
+// far below the timescale on which a latency distribution drifts, and
+// caps the estimator's cost at ~10 sorts/s however hot the shed path is.
+const estRecompute = 100 * time.Millisecond
 
 func (r *latRing) record(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
@@ -81,6 +95,31 @@ func (r *latRing) stats() *LatencyStats {
 	return out
 }
 
+// estimate returns cached p50/p95 over the ring (milliseconds; zeros
+// when no sample was recorded). Unlike stats it is cheap enough for the
+// admission hot path: the sort reruns at most once per estRecompute.
+func (r *latRing) estimate() (p50, p95 float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = latWindow
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	if r.count != r.estCount && time.Since(r.estAt) >= estRecompute {
+		snap := make([]float64, n)
+		copy(snap, r.samples[:n])
+		sort.Float64s(snap)
+		r.estP50 = quantile(snap, 0.50)
+		r.estP95 = quantile(snap, 0.95)
+		r.estAt = time.Now()
+		r.estCount = r.count
+	}
+	return r.estP50, r.estP95
+}
+
 // quantile returns the nearest-rank q-quantile of ascending-sorted samples.
 func quantile(sorted []float64, q float64) float64 {
 	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
@@ -116,6 +155,19 @@ func (s *Server) latencyStats(name string) *LatencyStats {
 		return nil
 	}
 	return r.stats()
+}
+
+// latencyEstimate returns the named dataset's cached p50/p95 latency in
+// milliseconds (zeros before any query completes) — the input to the
+// admission controller's service-time estimate and Retry-After.
+func (s *Server) latencyEstimate(name string) (p50, p95 float64) {
+	s.latMu.Lock()
+	r := s.lat[name]
+	s.latMu.Unlock()
+	if r == nil {
+		return 0, 0
+	}
+	return r.estimate()
 }
 
 // dropLatency discards the named dataset's ring (detach): a later dataset

@@ -25,7 +25,11 @@
 // "cached": true and is byte-identical to any other cached answer for the
 // same query. With WithCoalescing, concurrent /v1/query requests for the
 // same dataset and options are merged into one shared batch per window —
-// answers are unchanged, only the execution is shared.
+// answers are unchanged, only the execution is shared. With WithAdmission,
+// each dataset gets a bounded accept queue and deadline-aware load
+// shedding: overload is answered early with 429/503 + Retry-After instead
+// of being queued without bound (see docs/OPERATIONS.md, "Overload
+// tuning").
 package server
 
 import (
@@ -62,8 +66,14 @@ type Server struct {
 	coalesceWindow time.Duration
 	coal           *coalescer // nil when coalescing is disabled
 
+	admitLimit int // WithAdmission in-flight cap (<= 0: admission off)
+	admitDepth int // WithAdmission accept-queue depth
+
 	latMu sync.Mutex
 	lat   map[string]*latRing // per-dataset query-latency rings
+
+	gateMu sync.Mutex
+	gates  map[string]*gate // per-dataset admission gates (lazily created)
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -81,6 +91,13 @@ type Server struct {
 
 	coalescedQueries atomic.Int64 // queries executed through a coalesced group
 	coalescedGroups  atomic.Int64 // coalesced groups executed
+
+	// Server-level admission totals. Unlike the per-gate counters these
+	// survive dataset detach/re-attach and version swaps, so scrapers see
+	// monotonic counts (same contract as the cumulative engine counters).
+	admitted      atomic.Int64 // requests granted an execution slot
+	shedQueueFull atomic.Int64 // requests rejected 429: accept queue full
+	shedDeadline  atomic.Int64 // queued requests dropped 503: deadline unmeetable
 }
 
 // Option configures a Server.
@@ -169,6 +186,7 @@ func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
 		logger:   log.Default(),
 		start:    time.Now(),
 		lat:      make(map[string]*latRing),
+		gates:    make(map[string]*gate),
 	}
 	for _, o := range opts {
 		o(s)
@@ -360,6 +378,9 @@ func publishExpvar(s *Server) {
 		m.Set("cache_size", counter(sum(func(s repro.EngineStats) int64 { return int64(s.CacheSize) })))
 		m.Set("coalesced_queries", counter(func(t *Server) int64 { return t.coalescedQueries.Load() }))
 		m.Set("coalesced_groups", counter(func(t *Server) int64 { return t.coalescedGroups.Load() }))
+		m.Set("admitted", counter(func(t *Server) int64 { return t.admitted.Load() }))
+		m.Set("shed_queue_full", counter(func(t *Server) int64 { return t.shedQueueFull.Load() }))
+		m.Set("shed_deadline", counter(func(t *Server) int64 { return t.shedDeadline.Load() }))
 		expvar.Publish("maxrank", m)
 	})
 }
