@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestCrashRecovery is the end-to-end durability proof: a real maxrankd
+// process running with -wal -wal-sync always -resnapshot is SIGKILLed in
+// the middle of a mutation storm, twice. The client maintains a mirror
+// dataset and verifies every acknowledgement's fingerprint against it as
+// it streams mutations, so after each kill + restart the invariant is
+// exact: the daemon must serve either the last acknowledged state or that
+// state plus the single in-flight batch — all of it or none of it. Any
+// other fingerprint means an acked mutation was lost or a batch applied
+// partially.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash battery skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "maxrankd")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building maxrankd: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	mirror, err := repro.GenerateDataset("IND", 80, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.WriteSnapshotFile(filepath.Join(dataDir, "hotels.snap")); err != nil {
+		t.Fatal(err)
+	}
+
+	const cycles = 2
+	for cycle := 0; cycle < cycles; cycle++ {
+		proc := startDaemon(t, bin, dataDir)
+
+		// One sequential client: at any instant at most one batch is in
+		// flight, so the post-crash state has exactly two legal values.
+		storm := &mutationStorm{addr: proc.addr, acked: mirror, cycle: cycle}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			storm.run()
+		}()
+
+		deadline := time.Now().Add(15 * time.Second)
+		for storm.ackCount() < 25 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if storm.ackCount() < 25 {
+			proc.cmd.Process.Kill()
+			wg.Wait()
+			t.Fatalf("cycle %d: only %d acks before deadline (storm err: %v)\ndaemon stderr:\n%s",
+				cycle, storm.ackCount(), storm.err, proc.stderrText())
+		}
+		// Kill without warning, mid-flight.
+		if err := proc.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		proc.cmd.Wait()
+		wg.Wait()
+		if storm.err != nil {
+			t.Fatalf("cycle %d: storm: %v", cycle, storm.err)
+		}
+
+		// Restart on the crashed directory. Recovery must come up clean
+		// and serve one of the two legal states.
+		proc2 := startDaemon(t, bin, dataDir)
+		served := statsEntry(t, proc2.addr, "hotels")
+		mirror = storm.acked
+		switch served.Dataset.Fingerprint {
+		case mirror.Fingerprint():
+			// The in-flight batch died before its WAL append: fully absent.
+		case storm.pending.Fingerprint():
+			// The in-flight batch was appended before the kill (its ack
+			// never reached the client): fully applied.
+			mirror = storm.pending
+		default:
+			t.Fatalf("cycle %d: after %d acks, restart serves fingerprint %s; want %s (acked) or %s (acked + in-flight batch)\nrecovery stderr:\n%s",
+				cycle, storm.acks, served.Dataset.Fingerprint,
+				mirror.Fingerprint(), storm.pending.Fingerprint(), proc2.stderrText())
+		}
+		if served.Dataset.Records != mirror.Len() {
+			t.Fatalf("cycle %d: restart serves %d records, mirror has %d",
+				cycle, served.Dataset.Records, mirror.Len())
+		}
+
+		proc2.cmd.Process.Kill()
+		proc2.cmd.Wait()
+	}
+}
+
+// mutationStorm streams mutation batches at a daemon, mirroring every
+// acknowledged state locally. acked is the mirror of the last acked
+// state; pending is what the dataset becomes if the batch in flight at
+// the moment of death was applied. Fields are read by the test only after
+// the goroutine exits (WaitGroup ordering).
+type mutationStorm struct {
+	addr  string
+	cycle int
+
+	mu      sync.Mutex
+	acks    int
+	acked   *repro.Dataset
+	pending *repro.Dataset
+	err     error
+}
+
+func (s *mutationStorm) ackCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acks
+}
+
+func (s *mutationStorm) run() {
+	for i := 0; ; i++ {
+		var ops []repro.Op
+		if i%7 == 6 {
+			ops = []repro.Op{repro.DeleteOp(0)}
+		} else {
+			x := float64(s.cycle) + 0.001*float64(i)
+			ops = []repro.Op{
+				repro.InsertOp([]float64{x, 0.5, 0.25}),
+				repro.InsertOp([]float64{x, 0.125, 0.75}),
+			}
+		}
+		next, err := s.acked.Apply(ops)
+		if err != nil {
+			s.err = fmt.Errorf("batch %d: mirror apply: %w", i, err)
+			return
+		}
+		s.mu.Lock()
+		s.pending = next
+		s.mu.Unlock()
+
+		mr, err := mutateDaemon(s.addr, ops)
+		if err != nil {
+			return // the kill landed while this batch was in flight
+		}
+		if mr.Fingerprint != next.Fingerprint() {
+			s.err = fmt.Errorf("batch %d: daemon acked fingerprint %s, mirror computed %s",
+				i, mr.Fingerprint, next.Fingerprint())
+			return
+		}
+		s.mu.Lock()
+		s.acked = next
+		s.acks++
+		s.mu.Unlock()
+	}
+}
+
+// daemon is a running maxrankd subprocess and its parsed listen address.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+}
+
+func (d *daemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon launches the binary on the data directory with the full
+// durability stack enabled and waits for its announced listen address.
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-data-dir", dataDir, "-wal", "-wal-sync", "always", "-resnapshot",
+		"-addr", "127.0.0.1:0", "-cache", "16")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.stderr.WriteString(line + "\n")
+			d.mu.Unlock()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("daemon did not announce a listen address; stderr:\n%s", d.stderrText())
+	}
+	return d
+}
+
+// mutateAck is the subset of the mutate response the harness needs.
+type mutateAck struct {
+	Version     uint64 `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Records     int    `json:"records"`
+}
+
+// mutateDaemon posts one op batch and returns the parsed ack.
+func mutateDaemon(addr string, ops []repro.Op) (*mutateAck, error) {
+	body := map[string]any{"ops": opsJSON(ops)}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post("http://"+addr+"/v1/datasets/hotels/mutate", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mutate: HTTP %d", resp.StatusCode)
+	}
+	var mr mutateAck
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, err
+	}
+	return &mr, nil
+}
+
+func opsJSON(ops []repro.Op) []map[string]any {
+	out := make([]map[string]any, len(ops))
+	for i, op := range ops {
+		if op.Kind == repro.OpInsert {
+			out[i] = map[string]any{"insert": op.Point}
+		} else {
+			out[i] = map[string]any{"delete": op.Index}
+		}
+	}
+	return out
+}
+
+// statsEntryJSON is the per-dataset slice of /v1/stats the harness reads.
+type statsEntryJSON struct {
+	Version uint64 `json:"version"`
+	Dataset struct {
+		Records     int    `json:"records"`
+		Fingerprint string `json:"fingerprint"`
+	} `json:"dataset"`
+}
+
+func statsEntry(t *testing.T, addr, name string) statsEntryJSON {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Datasets map[string]statsEntryJSON `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := st.Datasets[name]
+	if !ok {
+		t.Fatalf("dataset %q missing from /v1/stats", name)
+	}
+	return entry
+}

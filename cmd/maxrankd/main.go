@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +39,7 @@ import (
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/wal"
 	"repro/server"
 )
 
@@ -56,6 +58,10 @@ type config struct {
 	resnapshot  bool
 	batchShare  bool
 	pageLatency time.Duration
+
+	wal             bool
+	walSync         string
+	walSyncInterval time.Duration
 }
 
 // validate enforces the dataset-source rules up front so a misconfigured
@@ -80,7 +86,24 @@ func (c *config) validate() error {
 	if c.resnapshot && c.dataDir == "" {
 		return fmt.Errorf("-resnapshot needs -data-dir (it rewrites <data-dir>/<name>.snap after mutations)")
 	}
+	if c.wal {
+		if c.dataDir == "" {
+			return fmt.Errorf("-wal needs -data-dir (it writes <data-dir>/<name>.wal next to each snapshot)")
+		}
+		if _, err := wal.ParseSyncPolicy(c.walSync); err != nil {
+			return fmt.Errorf("-wal-sync: %w", err)
+		}
+		if c.walSync == "interval" && c.walSyncInterval <= 0 {
+			return fmt.Errorf("-wal-sync interval needs -wal-sync-interval > 0 (got %v)", c.walSyncInterval)
+		}
+	}
 	return nil
+}
+
+// walPolicy returns the validated sync policy (call after validate).
+func (c *config) walPolicy() wal.SyncPolicy {
+	p, _ := wal.ParseSyncPolicy(c.walSync)
+	return p
 }
 
 // engineOptions are the options every engine in this process shares.
@@ -116,7 +139,10 @@ func (c *config) loadSnapshotEngine(path string) (*repro.Engine, error) {
 }
 
 // buildRegistry assembles the served datasets per the validated config.
-func (c *config) buildRegistry(logger *log.Logger) (*server.Registry, error) {
+// With -wal, walMgr is non-nil: leaked temp files are swept first, then
+// each snapshot-loaded dataset is rolled forward through its .wal before
+// serving (see walManager.openAndReplay).
+func (c *config) buildRegistry(logger *log.Logger, walMgr *walManager) (*server.Registry, error) {
 	reg := server.NewRegistry()
 	switch {
 	case c.dataDir != "":
@@ -129,6 +155,12 @@ func (c *config) buildRegistry(logger *log.Logger) (*server.Registry, error) {
 		}
 		if !info.IsDir() {
 			return nil, fmt.Errorf("-data-dir %s is not a directory", c.dataDir)
+		}
+		// Sweep before anything opens the directory's files for writing:
+		// a crash mid-WriteSnapshotFile or mid-compaction leaks .snap-* /
+		// .wal-* temp files that would otherwise accumulate forever.
+		if _, err := sweepOrphans(c.dataDir, logger); err != nil {
+			return nil, fmt.Errorf("-data-dir: %w", err)
 		}
 		paths, err := filepath.Glob(filepath.Join(c.dataDir, "*.snap"))
 		if err != nil {
@@ -144,12 +176,27 @@ func (c *config) buildRegistry(logger *log.Logger) (*server.Registry, error) {
 			if err != nil {
 				return nil, err
 			}
+			if walMgr != nil {
+				if eng, err = walMgr.openAndReplay(name, eng); err != nil {
+					return nil, err
+				}
+			}
 			if err := reg.Add(name, eng); err != nil {
 				return nil, err
 			}
 			ds := eng.Dataset()
 			logger.Printf("loaded %s: %d records (%d attributes, fingerprint %s) as %q",
 				path, ds.Len(), ds.Dim(), ds.Fingerprint(), name)
+		}
+		if walMgr != nil {
+			warnStrayWALs(c.dataDir, func(name string) bool {
+				_, release, err := reg.Acquire(name)
+				if err != nil {
+					return false
+				}
+				release()
+				return true
+			}, logger)
 		}
 		if reg.Len() == 0 {
 			logger.Printf("warning: no *.snap files in %s; serving empty until datasets are attached", c.dataDir)
@@ -186,11 +233,12 @@ type snapshotWriter struct {
 	dir    string
 	reg    *server.Registry
 	logger *log.Logger
-	mu     sync.Mutex // serialises the disk writes
+	walMgr *walManager // non-nil with -wal: a durable snapshot compacts the log
+	mu     sync.Mutex  // serialises the disk writes
 }
 
-func newSnapshotWriter(dir string, reg *server.Registry, logger *log.Logger) *snapshotWriter {
-	return &snapshotWriter{dir: dir, reg: reg, logger: logger}
+func newSnapshotWriter(dir string, reg *server.Registry, logger *log.Logger, walMgr *walManager) *snapshotWriter {
+	return &snapshotWriter{dir: dir, reg: reg, logger: logger, walMgr: walMgr}
 }
 
 // hook implements server.WithMutationHook. It runs on the server's hook
@@ -235,6 +283,13 @@ func (w *snapshotWriter) hook(name string, eng *repro.Engine, version uint64) {
 	ds := eng.Dataset()
 	w.logger.Printf("resnapshot %q v%d: %d records (fingerprint %s) -> %s",
 		name, version, ds.Len(), ds.Fingerprint(), path)
+	if w.walMgr != nil {
+		// The snapshot durably contains every state up to this version:
+		// the log records that produced them are superseded. Mutations
+		// racing this write stay in the log — CompactTo drops only the
+		// prefix up to the snapshot's fingerprint.
+		w.walMgr.compactTo(name, ds.Fingerprint())
+	}
 }
 
 // buildSingleDataset loads the CSV or generates the synthetic dataset.
@@ -271,6 +326,9 @@ func main() {
 	// explicit worker count; see docs/PERFORMANCE.md.
 	flag.IntVar(&cfg.queryPar, "query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&cfg.resnapshot, "resnapshot", false, "write each mutated dataset back to <data-dir>/<name>.snap (with -data-dir)")
+	flag.BoolVar(&cfg.wal, "wal", false, "write-ahead log mutations to <data-dir>/<name>.wal and replay them over snapshots at startup (with -data-dir)")
+	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL durability: always (fsync per mutation), interval, or none")
+	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 100*time.Millisecond, "WAL flush period with -wal-sync interval")
 	flag.BoolVar(&cfg.batchShare, "batch-share", false, "share the dominance-classification prefix across each /v1/batch's clustered focals")
 	flag.DurationVar(&cfg.pageLatency, "page-latency", 0, "simulated latency per index page access (disk-resident scenario; 0 = in-memory)")
 	var (
@@ -294,7 +352,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	reg, err := cfg.buildRegistry(logger)
+	var walMgr *walManager
+	if cfg.wal {
+		walMgr = newWALManager(cfg.dataDir, cfg.walPolicy(), cfg.walSyncInterval, logger)
+		defer walMgr.Close()
+		if !cfg.resnapshot {
+			logger.Printf("warning: -wal without -resnapshot: logs grow without bound (nothing ever compacts them)")
+		}
+	}
+	reg, err := cfg.buildRegistry(logger, walMgr)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -307,7 +373,10 @@ func main() {
 		server.WithSnapshotLoader(cfg.loadSnapshotEngine),
 	}
 	if cfg.resnapshot {
-		srvOpts = append(srvOpts, server.WithMutationHook(newSnapshotWriter(cfg.dataDir, reg, logger).hook))
+		srvOpts = append(srvOpts, server.WithMutationHook(newSnapshotWriter(cfg.dataDir, reg, logger, walMgr).hook))
+	}
+	if walMgr != nil {
+		srvOpts = append(srvOpts, server.WithMutationLog(walMgr))
 	}
 	srv, err := server.NewMulti(reg, srvOpts...)
 	if err != nil {
@@ -316,9 +385,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen before Serve so the bound address (e.g. with -addr :0) is
+	// known and logged — the crash-recovery harness parses it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe(*addr) }()
-	logger.Printf("serving %d dataset(s) on %s (cache=%d per dataset)", reg.Len(), *addr, cfg.cacheCap)
+	go func() { done <- srv.Serve(ln) }()
+	logger.Printf("listening on %s", ln.Addr())
+	logger.Printf("serving %d dataset(s) on %s (cache=%d per dataset)", reg.Len(), ln.Addr(), cfg.cacheCap)
 
 	select {
 	case err := <-done:

@@ -72,7 +72,7 @@ func TestBuildRegistryFromSnapshotDir(t *testing.T) {
 		f.Close()
 	}
 	cfg := config{dataDir: dir, cacheCap: 16, queryPar: 1}
-	reg, err := cfg.buildRegistry(log.New(io.Discard, "", 0))
+	reg, err := cfg.buildRegistry(log.New(io.Discard, "", 0), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestBuildRegistryFromSnapshotDir(t *testing.T) {
 // startup instead of silently serving an empty daemon.
 func TestBuildRegistryRejectsMissingDir(t *testing.T) {
 	cfg := config{dataDir: filepath.Join(t.TempDir(), "nope")}
-	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0)); err == nil {
+	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0), nil); err == nil {
 		t.Fatal("missing -data-dir accepted")
 	}
 	file := filepath.Join(t.TempDir(), "plain")
@@ -102,7 +102,7 @@ func TestBuildRegistryRejectsMissingDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg = config{dataDir: file}
-	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0)); err == nil {
+	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0), nil); err == nil {
 		t.Fatal("-data-dir pointing at a file accepted")
 	}
 }
@@ -115,7 +115,7 @@ func TestBuildRegistryRejectsCorruptSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := config{dataDir: dir}
-	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0)); err == nil {
+	if _, err := cfg.buildRegistry(log.New(io.Discard, "", 0), nil); err == nil {
 		t.Fatal("corrupt snapshot loaded without error")
 	}
 }

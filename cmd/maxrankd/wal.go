@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/wal"
+	"repro/server"
+)
+
+// walManager owns one write-ahead log per served dataset, implementing
+// server.MutationLog: the mutate handler appends each batch before the
+// version swap acknowledges it, so with -wal-sync always an acknowledged
+// mutation survives kill -9. Logs live at <data-dir>/<name>.wal; startup
+// replays them over the corresponding .snap (see openAndReplay) and a
+// successful -resnapshot write compacts the superseded prefix away.
+type walManager struct {
+	dir    string
+	opts   wal.Options
+	logger *log.Logger
+
+	mu   sync.Mutex
+	logs map[string]*wal.Log
+}
+
+func newWALManager(dir string, policy wal.SyncPolicy, interval time.Duration, logger *log.Logger) *walManager {
+	return &walManager{
+		dir:    dir,
+		opts:   wal.Options{Sync: policy, SyncInterval: interval},
+		logger: logger,
+		logs:   make(map[string]*wal.Log),
+	}
+}
+
+// walPath is the log file backing a dataset name.
+func (m *walManager) walPath(name string) string {
+	return filepath.Join(m.dir, name+".wal")
+}
+
+// toWALOps converts an engine op batch to the WAL's engine-independent
+// representation.
+func toWALOps(ops []repro.Op) []wal.Op {
+	out := make([]wal.Op, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case repro.OpInsert:
+			out[i] = wal.Op{Kind: wal.OpInsert, Point: op.Point}
+		default:
+			out[i] = wal.Op{Kind: wal.OpDelete, Index: int64(op.Index)}
+		}
+	}
+	return out
+}
+
+// fromWALOps converts logged ops back into engine ops for replay.
+func fromWALOps(ops []wal.Op) []repro.Op {
+	out := make([]repro.Op, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case wal.OpInsert:
+			out[i] = repro.InsertOp(op.Point)
+		default:
+			out[i] = repro.DeleteOp(int(op.Index))
+		}
+	}
+	return out
+}
+
+// Append implements server.MutationLog: it durably logs one acknowledged
+// mutation per the sync policy. The dataset's log is opened lazily on
+// first use (datasets attached at runtime get a log the moment they are
+// first mutated); an existing log whose chain does not reach the batch's
+// base fingerprint belongs to a previous lineage of the name — it is
+// unreplayable without its own base snapshot, so it is compacted away
+// (with a log line) rather than poisoning the new lineage's history.
+func (m *walManager) Append(dataset string, rec server.MutationRecord) error {
+	l, opened, err := m.acquire(dataset)
+	if err != nil {
+		return err
+	}
+	wrec := wal.Record{
+		BaseVersion:     rec.BaseVersion,
+		BaseFingerprint: rec.BaseFingerprint,
+		NewFingerprint:  rec.NewFingerprint,
+		Ops:             toWALOps(rec.Ops),
+	}
+	err = l.Append(wrec)
+	if opened && errors.Is(err, wal.ErrChain) {
+		// Freshly opened with another lineage's tail: supersede it. Only
+		// ever done at open time — a chain break on a live log is a bug
+		// and must fail loudly.
+		if dropped, cerr := l.CompactTo(lastFingerprint(l)); cerr == nil && dropped > 0 {
+			m.logger.Printf("wal %q: dropped %d records of a previous lineage", dataset, dropped)
+			err = l.Append(wrec)
+		}
+	}
+	return err
+}
+
+// lastFingerprint is the log's chain head (used to compact everything).
+func lastFingerprint(l *wal.Log) string {
+	// CompactTo drops through the LAST record matching the fingerprint;
+	// passing the head drops the whole log. The head is rediscovered by
+	// re-scanning the file rather than tracked here: this path runs once
+	// per lineage change, never per append.
+	f, err := os.Open(l.Path())
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	recs, _, _ := wal.Scan(f)
+	if len(recs) == 0 {
+		return ""
+	}
+	return recs[len(recs)-1].NewFingerprint
+}
+
+// acquire returns the dataset's open log, opening (and torn-tail
+// recovering) it on first use. opened reports a fresh open, which is the
+// only moment a lineage mismatch is tolerated.
+func (m *walManager) acquire(dataset string) (l *wal.Log, opened bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l, ok := m.logs[dataset]; ok {
+		return l, false, nil
+	}
+	l, _, err = wal.Open(m.walPath(dataset), m.opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if n, torn := l.RecoveredBytes(); torn {
+		m.logger.Printf("wal %q: discarded %d torn tail bytes", dataset, n)
+	}
+	m.logs[dataset] = l
+	return l, true, nil
+}
+
+// adopt registers a log already opened by startup replay.
+func (m *walManager) adopt(dataset string, l *wal.Log) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logs[dataset] = l
+}
+
+// Stats implements server.MutationLog for the /v1/stats and expvar
+// surfaces. Datasets that have never been mutated (and had no log on
+// disk) report nothing.
+func (m *walManager) Stats(dataset string) (server.MutationLogStats, bool) {
+	m.mu.Lock()
+	l, ok := m.logs[dataset]
+	m.mu.Unlock()
+	if !ok {
+		return server.MutationLogStats{}, false
+	}
+	st := l.Stats()
+	return server.MutationLogStats{Records: st.Records, Bytes: st.Bytes, LastCompaction: st.LastCompaction}, true
+}
+
+// compactTo drops the dataset's log records superseded by a durable
+// snapshot of state fp (the -resnapshot hook calls this after a
+// successful write). Unknown datasets and fingerprints are no-ops.
+func (m *walManager) compactTo(dataset, fp string) {
+	m.mu.Lock()
+	l, ok := m.logs[dataset]
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	dropped, err := l.CompactTo(fp)
+	switch {
+	case err != nil:
+		m.logger.Printf("wal %q: compaction: %v", dataset, err)
+	case dropped > 0:
+		st := l.Stats()
+		m.logger.Printf("wal %q: compacted %d records superseded by snapshot %s (%d records, %d bytes remain)",
+			dataset, dropped, fp, st.Records, st.Bytes)
+	}
+}
+
+// Close flushes and closes every log (process shutdown).
+func (m *walManager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, l := range m.logs {
+		if err := l.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			m.logger.Printf("wal %q: close: %v", name, err)
+		}
+		delete(m.logs, name)
+	}
+}
+
+// openAndReplay brings a snapshot-loaded engine up to the write-ahead
+// log's head: it opens <name>.wal, plans the suffix of records the
+// snapshot does not already contain, re-applies each batch and verifies
+// the dataset fingerprint after every record — replay either reproduces
+// the exact acknowledged states or fails startup, never serves a
+// diverged dataset. The log stays open (adopted into the manager) so new
+// mutations continue its chain. Replayed engines inherit the loaded
+// engine's options (Engine.Apply carries them to each successor).
+func (m *walManager) openAndReplay(name string, eng *repro.Engine) (*repro.Engine, error) {
+	path := m.walPath(name)
+	l, recs, err := wal.Open(path, m.opts)
+	if err != nil {
+		return nil, fmt.Errorf("wal %q: %w", name, err)
+	}
+	if n, torn := l.RecoveredBytes(); torn {
+		m.logger.Printf("wal %q: discarded %d torn tail bytes (an unacknowledged batch died mid-write)", name, n)
+	}
+	baseFP := eng.Dataset().Fingerprint()
+	todo, err := wal.Plan(recs, baseFP)
+	if err != nil {
+		l.Close()
+		// A log that cannot apply to its snapshot means the two files
+		// disagree about history. Serving the snapshot alone could
+		// silently drop acknowledged mutations — refuse to start instead.
+		return nil, fmt.Errorf("wal %q does not apply to snapshot state %s (remove or repair %s to serve without it): %w",
+			name, baseFP, path, err)
+	}
+	for i, rec := range todo {
+		next, err := eng.Apply(context.Background(), fromWALOps(rec.Ops))
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("wal %q: replaying record %d/%d: %w", name, i+1, len(todo), err)
+		}
+		if got := next.Dataset().Fingerprint(); got != rec.NewFingerprint {
+			l.Close()
+			return nil, fmt.Errorf("wal %q: replay of record %d/%d produced fingerprint %s, log recorded %s",
+				name, i+1, len(todo), got, rec.NewFingerprint)
+		}
+		eng = next
+	}
+	if len(todo) > 0 {
+		m.logger.Printf("wal %q: replayed %d mutation batch(es), dataset now at fingerprint %s",
+			name, len(todo), eng.Dataset().Fingerprint())
+	}
+	// Records at or before the snapshot state are already durable in the
+	// .snap — drop them (this also resolves the snapshot-then-truncate
+	// crash window: a snapshot that landed without its compaction).
+	if dropped, err := l.CompactTo(baseFP); err != nil {
+		m.logger.Printf("wal %q: startup compaction: %v", name, err)
+	} else if dropped > 0 {
+		m.logger.Printf("wal %q: dropped %d records already contained in the snapshot", name, dropped)
+	}
+	m.adopt(name, l)
+	return eng, nil
+}
+
+// tempFilePattern matches the temp files of the atomic write paths
+// (snapshot writes and WAL compaction): a crash between creation and
+// rename leaks them. It is anchored and digit-strict so a legal dataset
+// name that merely resembles a temp file can never be swept.
+var tempFilePattern = regexp.MustCompile(`^\.(snap|wal)-\d+$`)
+
+// sweepOrphans removes leaked temp files from a data directory and
+// returns how many were removed. It runs once at startup, before any
+// writer is live, so everything matching the pattern is dead by
+// construction.
+func sweepOrphans(dir string, logger *log.Logger) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() || !tempFilePattern.MatchString(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if err := os.Remove(path); err != nil {
+			logger.Printf("orphan sweep: %v", err)
+			continue
+		}
+		logger.Printf("orphan sweep: removed %s (leaked by an interrupted write)", path)
+		removed++
+	}
+	return removed, nil
+}
+
+// warnStrayWALs logs a warning for every .wal file whose dataset has no
+// .snap in the directory: its mutations are unreplayable without their
+// base snapshot (typically a dataset attached at runtime from a snapshot
+// outside -data-dir, then mutated). The files are left alone — deleting
+// acknowledged history is the operator's call, never the daemon's.
+func warnStrayWALs(dir string, served func(name string) bool, logger *log.Logger) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		name = name[:len(name)-len(".wal")]
+		if !served(name) {
+			logger.Printf("warning: %s has no matching %s.snap — its logged mutations cannot be replayed; attach the base snapshot or remove the file", path, name)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package vfs abstracts the slice of the filesystem the persistence
+// paths use — create, write, sync, rename — so the durability code
+// (snapshot writes, the mutation write-ahead log) runs against the real
+// OS in production and against a fault-injecting implementation in
+// tests. The abstraction is deliberately narrow: only the operations a
+// crash-safe write path needs, so every one of them is a scriptable
+// failure point in FaultFS.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is the subset of *os.File the persistence paths need. Sync and
+// Truncate are first-class because durability bugs live exactly there.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Name returns the path the file was opened as.
+	Name() string
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface of the persistence paths. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Chmod changes a file's permission bits.
+	Chmod(name string, mode fs.FileMode) error
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Chmod(name string, mode fs.FileMode) error {
+	return os.Chmod(name, mode)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// CreateTemp creates a new file in dir whose name is pattern with the
+// first '*' replaced by random digits (os.CreateTemp semantics, routed
+// through fsys so temp-file creation is itself a faultable operation).
+func CreateTemp(fsys FS, dir, pattern string) (File, error) {
+	prefix, suffix, ok := strings.Cut(pattern, "*")
+	if !ok {
+		prefix, suffix = pattern, ""
+	}
+	for try := 0; try < 10000; try++ {
+		name := filepath.Join(dir, prefix+strconv.FormatUint(uint64(rand.Uint32()), 10)+suffix)
+		f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if errors.Is(err, fs.ErrExist) {
+			continue
+		}
+		return f, err
+	}
+	return nil, fmt.Errorf("vfs: could not create a temp file in %s after 10000 tries", dir)
+}
+
+// SyncDir fsyncs a directory, making a just-created or just-renamed
+// entry in it durable: on POSIX, rename(2) persists the *file* contents
+// only once the containing directory's metadata has reached disk too.
+func SyncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ErrCrashed is returned by every FaultFS operation after a scripted
+// crash point: the process "died" — nothing written after the crash
+// offset exists, and no later operation can succeed.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// Fault scripts one failure for FaultFS. The zero Path matches every
+// path; Op selects the operation; After skips that many matching calls
+// before firing. A fault fires once unless Sticky.
+type Fault struct {
+	// Op is the operation to fail: "open", "write", "sync", "close",
+	// "truncate", "rename", "remove", "chmod", "stat".
+	Op string
+	// Path fires only on paths containing this substring ("" = any).
+	Path string
+	// After skips the first After matching calls.
+	After int
+	// AllowBytes, for write faults, is how many of the attempted bytes
+	// are applied before the error — a short write, as ENOSPC produces.
+	AllowBytes int
+	// Err is the error to return (e.g. syscall.EIO, syscall.ENOSPC).
+	Err error
+	// Sticky keeps the fault armed after it fires.
+	Sticky bool
+
+	hits int
+	used bool
+}
+
+// FaultFS wraps an FS with scripted fault injection and a byte-accurate
+// crash point, so tests can prove that every failure mode of a write
+// path leaves the previous on-disk state intact. All methods are safe
+// for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	written int64
+	crashAt int64 // -1 = no crash scheduled
+	crashed bool
+}
+
+// NewFaultFS wraps inner (typically OS() over a temp dir).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, crashAt: -1}
+}
+
+// Inject arms a fault.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fc := fault
+	f.faults = append(f.faults, &fc)
+}
+
+// CrashAfterBytes schedules a crash once n total bytes have been written
+// through the filesystem: the write that crosses the boundary applies
+// only the bytes up to it, and every subsequent operation fails with
+// ErrCrashed. The files already on disk are exactly what a real crash at
+// that offset would leave behind.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	f.crashed = false
+	f.written = 0
+}
+
+// Written reports the total bytes written through the filesystem.
+func (f *FaultFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Crashed reports whether the scripted crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// match finds and fires the first armed fault for (op, path). Must be
+// called with f.mu held.
+func (f *FaultFS) match(op, path string) *Fault {
+	for _, flt := range f.faults {
+		if flt.used || flt.Op != op {
+			continue
+		}
+		if flt.Path != "" && !strings.Contains(path, flt.Path) {
+			continue
+		}
+		if flt.hits < flt.After {
+			flt.hits++
+			continue
+		}
+		if !flt.Sticky {
+			flt.used = true
+		}
+		return flt
+	}
+	return nil
+}
+
+// check consults the crash state and scripted faults for a non-write op.
+// Must be called with f.mu held.
+func (f *FaultFS) check(op, path string) error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	if flt := f.match(op, path); flt != nil {
+		return flt.Err
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.mu.Lock()
+	err := f.check("open", name)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.check("rename", newpath)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	err := f.check("remove", name)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Chmod(name string, mode fs.FileMode) error {
+	f.mu.Lock()
+	err := f.check("chmod", name)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Chmod(name, mode)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	err := f.check("stat", name)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile routes file operations through the parent's fault script.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	name  string
+}
+
+func (ff *faultFile) Name() string { return ff.name }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := len(p)
+	var ferr error
+	if ff.fs.crashAt >= 0 && ff.fs.written+int64(len(p)) > ff.fs.crashAt {
+		if room := ff.fs.crashAt - ff.fs.written; int64(allow) > room {
+			allow = int(room)
+		}
+		ff.fs.crashed = true
+		ferr = ErrCrashed
+	} else if flt := ff.fs.match("write", ff.name); flt != nil {
+		if flt.AllowBytes < allow {
+			allow = flt.AllowBytes
+		}
+		ferr = flt.Err
+	}
+	ff.fs.mu.Unlock()
+	var n int
+	var werr error
+	if allow > 0 {
+		n, werr = ff.inner.Write(p[:allow])
+	}
+	ff.fs.mu.Lock()
+	ff.fs.written += int64(n)
+	ff.fs.mu.Unlock()
+	if ferr != nil {
+		return n, ferr
+	}
+	if werr != nil {
+		return n, werr
+	}
+	if n < len(p) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.check("sync", ff.name)
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	err := ff.fs.check("truncate", ff.name)
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.check("close", ff.name)
+	ff.fs.mu.Unlock()
+	if err != nil {
+		// The underlying descriptor still closes: a scripted close
+		// failure models fsync-on-close style reporting, not a leak.
+		ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}

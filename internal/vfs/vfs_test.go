@@ -1,0 +1,198 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(fsys, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "b.txt"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if _, err := fsys.Stat(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Chmod(filepath.Join(dir, "b.txt"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateTemp(t *testing.T) {
+	dir := t.TempDir()
+	f, err := CreateTemp(OS(), dir, ".snap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base := filepath.Base(f.Name())
+	if !strings.HasPrefix(base, ".snap-") {
+		t.Fatalf("temp name %q does not carry the pattern prefix", base)
+	}
+	if _, err := os.Stat(f.Name()); err != nil {
+		t.Fatalf("temp file missing: %v", err)
+	}
+}
+
+func TestFaultWriteShortAndError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS())
+	ffs.Inject(Fault{Op: "write", AllowBytes: 3, Err: syscall.ENOSPC})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write: n=%d err=%v, want 3, ENOSPC", n, err)
+	}
+	// The fault fired once; the next write goes through.
+	if n, err := f.Write([]byte("gh")); n != 2 || err != nil {
+		t.Fatalf("post-fault write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(data) != "abcgh" {
+		t.Fatalf("on-disk bytes %q, want the 3 allowed + the clean write", data)
+	}
+}
+
+func TestFaultStickyAndAfter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS())
+	ffs.Inject(Fault{Op: "sync", After: 1, Err: syscall.EIO, Sticky: true})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d: %v, want sticky EIO", i+2, err)
+		}
+	}
+}
+
+func TestFaultPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS())
+	ffs.Inject(Fault{Op: "open", Path: "target", Err: syscall.EACCES})
+
+	if _, err := ffs.OpenFile(filepath.Join(dir, "other"), os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		t.Fatalf("non-matching path should open: %v", err)
+	}
+	if _, err := ffs.OpenFile(filepath.Join(dir, "target"), os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("matching path: %v, want EACCES", err)
+	}
+}
+
+func TestFaultRenameRemoveTruncateClose(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS())
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(Fault{Op: "truncate", Err: syscall.EIO})
+	if err := f.Truncate(0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("truncate: %v", err)
+	}
+	ffs.Inject(Fault{Op: "close", Err: syscall.EIO})
+	if err := f.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("close: %v", err)
+	}
+	ffs.Inject(Fault{Op: "rename", Err: syscall.EXDEV})
+	if err := ffs.Rename(path, path+"2"); !errors.Is(err, syscall.EXDEV) {
+		t.Fatalf("rename: %v", err)
+	}
+	ffs.Inject(Fault{Op: "remove", Err: syscall.EPERM})
+	if err := ffs.Remove(path); !errors.Is(err, syscall.EPERM) {
+		t.Fatalf("remove: %v", err)
+	}
+	ffs.Inject(Fault{Op: "chmod", Err: syscall.EPERM})
+	if err := ffs.Chmod(path, 0o600); !errors.Is(err, syscall.EPERM) {
+		t.Fatalf("chmod: %v", err)
+	}
+	ffs.Inject(Fault{Op: "stat", Err: syscall.EIO})
+	if _, err := ffs.Stat(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("stat: %v", err)
+	}
+}
+
+func TestCrashAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS())
+	path := filepath.Join(dir, "x")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashAfterBytes(5)
+	if n, err := f.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("pre-crash write: n=%d err=%v", n, err)
+	}
+	// This write crosses the boundary at 5: 2 bytes land, then the crash.
+	n, err := f.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: n=%d err=%v, want 2, ErrCrashed", n, err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	// Everything after the crash fails.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := ffs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	if err := ffs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	// The on-disk state is exactly the first 5 bytes.
+	data, readErr := os.ReadFile(path)
+	if readErr != nil || string(data) != "abcde" {
+		t.Fatalf("on-disk %q, %v; want exactly the 5 pre-crash bytes", data, readErr)
+	}
+	if got := ffs.Written(); got != 5 {
+		t.Fatalf("Written() = %d, want 5", got)
+	}
+}

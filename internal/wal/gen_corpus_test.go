@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus (re)generates the committed seed corpus under
+// testdata/fuzz/FuzzScan. It is skipped unless GEN_FUZZ_CORPUS=1,
+// because its job is to produce checked-in files, not to test anything:
+//
+//	GEN_FUZZ_CORPUS=1 go test ./internal/wal -run TestGenerateFuzzCorpus
+//
+// The corpus holds a valid log image plus systematic truncations and bit
+// flips of it — the structurally interesting entry points into the
+// scanner (mid-magic, mid-frame, mid-payload, a flipped CRC, a flipped
+// length field) that random fuzzing would otherwise have to rediscover.
+// Plain `go test` replays every committed entry through FuzzScan.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate testdata/fuzz/FuzzScan")
+	}
+	img := fuzzBaseLog(t)
+	rec0, err := EncodeRecord(&chainRecords(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := headerLen + len(rec0)
+
+	corpus := map[string][]byte{
+		"valid":       img,
+		"header-only": img[:headerLen],
+		// Truncations at structurally meaningful offsets: mid-magic,
+		// mid-frame of the first record, mid-payload, one byte short.
+		"trunc-magic":   img[:3],
+		"trunc-frame":   img[:headerLen+5],
+		"trunc-payload": img[:firstEnd-7],
+		"trunc-tail":    img[:len(img)-1],
+	}
+	// One bit flip per region: magic, the first length field, the first
+	// CRC, an op byte mid-payload, the final payload byte.
+	for name, off := range map[string]int{
+		"flip-magic": 2,
+		"flip-len":   headerLen,
+		"flip-crc":   headerLen + 4,
+		"flip-ops":   headerLen + frameLen + 20,
+		"flip-last":  len(img) - 1,
+	} {
+		b := bytes.Clone(img)
+		b[off] ^= 0x01
+		corpus[name] = b
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzScan")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpus {
+		// The Go fuzzing corpus file format: a version line, then one
+		// quoted Go value per fuzz argument.
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(corpus), dir)
+}

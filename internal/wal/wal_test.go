@@ -1,0 +1,788 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// chainRecords builds n records forming a valid fingerprint chain
+// fp0 -> fp1 -> ... -> fpn, with varied op batches.
+func chainRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			BaseVersion:     uint64(i + 1),
+			BaseFingerprint: fmt.Sprintf("fp%d", i),
+			NewFingerprint:  fmt.Sprintf("fp%d", i+1),
+			Ops: []Op{
+				{Kind: OpInsert, Point: []float64{float64(i), float64(i) * 0.5, -1.25}},
+			},
+		}
+		if i%3 == 1 {
+			recs[i].Ops = append(recs[i].Ops, Op{Kind: OpDelete, Index: int64(i)})
+		}
+	}
+	return recs
+}
+
+func openClean(t *testing.T, path string, opts Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, recs
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	l, got := openClean(t, path, Options{})
+	if len(got) != 0 {
+		t.Fatalf("fresh log returned %d records", len(got))
+	}
+	want := chainRecords(7)
+	for i := range want {
+		if err := l.Append(want[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Records != 7 {
+		t.Fatalf("Stats.Records = %d, want 7", st.Records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != st.Bytes {
+		t.Fatalf("file is %d bytes, Stats said %d", len(data), st.Bytes)
+	}
+	recs, valid, serr := Scan(bytes.NewReader(data))
+	if serr != nil {
+		t.Fatalf("Scan: %v", serr)
+	}
+	if valid != int64(len(data)) {
+		t.Fatalf("valid prefix %d, want whole file %d", valid, len(data))
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("scan mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+
+	// Reopen returns the same history and appends continue the chain.
+	l2, recs2 := openClean(t, path, Options{})
+	defer l2.Close()
+	if !reflect.DeepEqual(recs2, want) {
+		t.Fatalf("reopen mismatch")
+	}
+	next := Record{BaseFingerprint: "fp7", NewFingerprint: "fp8", Ops: []Op{{Kind: OpInsert, Point: []float64{1}}}}
+	if err := l2.Append(next); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestAppendChainEnforced(t *testing.T) {
+	l, _ := openClean(t, filepath.Join(t.TempDir(), "d.wal"), Options{})
+	defer l.Close()
+	recs := chainRecords(2)
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Skipping fp1: record based on fp5 cannot follow fp0->fp1.
+	bad := Record{BaseFingerprint: "fp5", NewFingerprint: "fp6", Ops: []Op{{Kind: OpDelete, Index: 0}}}
+	if err := l.Append(bad); !errors.Is(err, ErrChain) {
+		t.Fatalf("off-chain append: %v, want ErrChain", err)
+	}
+	if err := l.Append(recs[1]); err != nil {
+		t.Fatalf("chain append after rejected record: %v", err)
+	}
+	if st := l.Stats(); st.Records != 2 {
+		t.Fatalf("records = %d, want 2 (rejected append must not count)", st.Records)
+	}
+}
+
+func TestAppendRejectsInvalidRecords(t *testing.T) {
+	l, _ := openClean(t, filepath.Join(t.TempDir(), "d.wal"), Options{})
+	defer l.Close()
+	cases := []Record{
+		{BaseFingerprint: "a", NewFingerprint: "b"},                                                           // no ops
+		{BaseFingerprint: "a", NewFingerprint: "b", Ops: []Op{{Kind: 9}}},                                     // unknown kind
+		{BaseFingerprint: "a", NewFingerprint: "b", Ops: []Op{{Kind: OpInsert}}},                              // empty point
+		{BaseFingerprint: "a", NewFingerprint: "b", Ops: []Op{{Kind: OpDelete, Index: -1}}},                   // negative index
+		{BaseFingerprint: string(make([]byte, maxFPLen+1)), NewFingerprint: "b", Ops: []Op{{Kind: OpDelete}}}, // fp too long
+	}
+	for i, rec := range cases {
+		if err := l.Append(rec); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: %v, want ErrInvalid", i, err)
+		}
+	}
+	if st := l.Stats(); st.Records != 0 {
+		t.Fatalf("rejected records must not be appended")
+	}
+}
+
+// TestCrashOffsetBattery is the core torn-tail proof: for EVERY byte
+// prefix of a multi-record log, opening the prefix recovers exactly the
+// records fully contained in it, truncates the rest, and accepts a
+// fresh append continuing from the recovered chain.
+func TestCrashOffsetBattery(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	l, _ := openClean(t, full, Options{})
+	want := chainRecords(4)
+	for i := range want {
+		if err := l.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries, recomputed from the encoding.
+	bounds := []int64{int64(headerLen)}
+	for i := range want {
+		frame, err := EncodeRecord(&want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(len(frame)))
+	}
+	if bounds[len(bounds)-1] != st.Bytes {
+		t.Fatalf("boundary math: %d vs file %d", bounds[len(bounds)-1], st.Bytes)
+	}
+
+	for n := 0; n <= len(data); n++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.wal", n))
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// complete = records fully inside the prefix.
+		complete := 0
+		for complete < len(want) && bounds[complete+1] <= int64(n) {
+			complete++
+		}
+		lg, recs, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", n, err)
+		}
+		if len(recs) != complete || (complete > 0 && !reflect.DeepEqual(recs, want[:complete])) {
+			lg.Close()
+			t.Fatalf("cut %d: recovered %d records, want %d", n, len(recs), complete)
+		}
+		// Bytes beyond the last whole record are a tear — except n == 0,
+		// which is indistinguishable from a fresh log.
+		torn := n != 0 && int64(n) != bounds[complete]
+		if _, ok := lg.RecoveredBytes(); ok != torn {
+			lg.Close()
+			t.Fatalf("cut %d: RecoveredBytes reported %v, want %v", n, ok, torn)
+		}
+		// The log must accept a continuation of the recovered chain.
+		base := "fp0"
+		if complete > 0 {
+			base = want[complete-1].NewFingerprint
+		}
+		cont := Record{BaseFingerprint: base, NewFingerprint: "resumed", Ops: []Op{{Kind: OpInsert, Point: []float64{9}}}}
+		if err := lg.Append(cont); err != nil {
+			lg.Close()
+			t.Fatalf("cut %d: append after recovery: %v", n, err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", n, err)
+		}
+		// And the recovered-plus-appended file scans clean.
+		f, _ := os.Open(path)
+		recs2, _, serr := Scan(f)
+		f.Close()
+		if serr != nil {
+			t.Fatalf("cut %d: rescan after recovery: %v", n, serr)
+		}
+		if len(recs2) != complete+1 {
+			t.Fatalf("cut %d: rescan has %d records, want %d", n, len(recs2), complete+1)
+		}
+		os.Remove(path)
+	}
+}
+
+func TestScanBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	want := chainRecords(3)
+	for i := range want {
+		frame, err := EncodeRecord(&want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	data := buf.Bytes()
+	for bit := 0; bit < len(data)*8; bit += 7 {
+		mut := bytes.Clone(data)
+		mut[bit/8] ^= 1 << (bit % 8)
+		recs, valid, err := Scan(bytes.NewReader(mut))
+		if err == nil {
+			// A flip in a fingerprint byte of an earlier record cannot go
+			// unnoticed: CRC covers the whole payload. Only impossible.
+			t.Fatalf("bit %d: corrupt log scanned clean", bit)
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("bit %d: error %v does not wrap ErrInvalid", bit, err)
+		}
+		if errors.Is(err, ErrBadMagic) {
+			if bit/8 >= headerLen {
+				t.Fatalf("bit %d: ErrBadMagic for a record-area flip", bit)
+			}
+			continue
+		}
+		// The valid prefix must itself rescan identically.
+		recs2, valid2, err2 := Scan(bytes.NewReader(mut[:valid]))
+		if err2 != nil {
+			t.Fatalf("bit %d: valid prefix (%d bytes) does not rescan clean: %v", bit, valid, err2)
+		}
+		if valid2 != valid || !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("bit %d: prefix rescan diverged", bit)
+		}
+	}
+}
+
+func TestOpenForeignFileRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notawal")
+	if err := os.WriteFile(path, []byte("this is not a log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path, Options{})
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Open foreign file: %v, want ErrBadMagic", err)
+	}
+	// Crucially, the file was not clobbered.
+	data, _ := os.ReadFile(path)
+	if string(data) != "this is not a log at all" {
+		t.Fatalf("foreign file was modified: %q", data)
+	}
+}
+
+// TestGarbageTailDiscardCount pins TailError.Discarded to its contract:
+// EVERYTHING after the valid prefix, not just the bytes of the first bad
+// record the scanner happened to consume. A mid-log corruption invalidates
+// the whole rest of the file, and the recovery log line must say so.
+func TestGarbageTailDiscardCount(t *testing.T) {
+	recs := chainRecords(2)
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	for _, rec := range recs {
+		frame, err := EncodeRecord(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	validLen := int64(buf.Len())
+	// 23 garbage bytes whose first 4 decode to an absurd payload length:
+	// the scanner rejects the frame after reading 8 bytes, but all 23
+	// must be reported (and truncated by Open).
+	garbage := []byte("GARBAGE-TORN-TAIL-BYTES")
+	buf.Write(garbage)
+
+	got, valid, err := Scan(bytes.NewReader(buf.Bytes()))
+	if len(got) != 2 || valid != validLen {
+		t.Fatalf("Scan: %d records, valid %d; want 2 records, valid %d", len(got), valid, validLen)
+	}
+	var tail *TailError
+	if !errors.As(err, &tail) {
+		t.Fatalf("Scan error %v, want TailError", err)
+	}
+	if tail.Discarded != int64(len(garbage)) {
+		t.Fatalf("TailError.Discarded = %d, want %d (the whole garbage tail)", tail.Discarded, len(garbage))
+	}
+
+	path := filepath.Join(t.TempDir(), "g.wal")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, opened, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(opened) != 2 {
+		t.Fatalf("Open recovered %d records, want 2", len(opened))
+	}
+	if n, torn := l.RecoveredBytes(); !torn || n != int64(len(garbage)) {
+		t.Fatalf("RecoveredBytes = %d, %v; want %d, true", n, torn, len(garbage))
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() != validLen {
+		t.Fatalf("file size after Open = %d (%v), want %d", info.Size(), err, validLen)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	recs := chainRecords(4) // fp0 -> fp1 -> fp2 -> fp3 -> fp4
+	cases := []struct {
+		base    string
+		want    int // records to apply
+		wantErr error
+	}{
+		{"fp0", 4, nil}, // snapshot at the log's base: apply everything
+		{"fp2", 2, nil}, // snapshot mid-chain: apply the suffix
+		{"fp4", 0, nil}, // snapshot at the head: nothing to do
+		{"zzz", 0, ErrBaseMismatch},
+	}
+	for _, tc := range cases {
+		got, err := Plan(recs, tc.base)
+		if tc.wantErr != nil {
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("Plan(%s): %v, want %v", tc.base, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Plan(%s): %v", tc.base, err)
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("Plan(%s): %d records, want %d", tc.base, len(got), tc.want)
+		}
+		if tc.want > 0 && got[0].BaseFingerprint != tc.base {
+			t.Errorf("Plan(%s): first record bases on %s", tc.base, got[0].BaseFingerprint)
+		}
+	}
+
+	// Broken chain fails regardless of base.
+	broken := chainRecords(3)
+	broken[2].BaseFingerprint = "elsewhere"
+	if _, err := Plan(broken, "fp0"); !errors.Is(err, ErrChain) {
+		t.Fatalf("broken chain: %v, want ErrChain", err)
+	}
+
+	// Fingerprint cycle (insert X, delete X returns to fp1): resume at
+	// the LAST visit so the fewest records replay.
+	cycle := []Record{
+		{BaseFingerprint: "fpA", NewFingerprint: "fpB", Ops: []Op{{Kind: OpInsert, Point: []float64{1}}}},
+		{BaseFingerprint: "fpB", NewFingerprint: "fpA", Ops: []Op{{Kind: OpDelete, Index: 0}}},
+		{BaseFingerprint: "fpA", NewFingerprint: "fpC", Ops: []Op{{Kind: OpInsert, Point: []float64{2}}}},
+	}
+	got, err := Plan(cycle, "fpA")
+	if err != nil || len(got) != 1 || got[0].NewFingerprint != "fpC" {
+		t.Fatalf("cycle plan: %d records, err %v; want the 1 record after the last fpA", len(got), err)
+	}
+
+	if got, err := Plan(nil, "anything"); err != nil || len(got) != 0 {
+		t.Fatalf("empty log plan: %v, %v", got, err)
+	}
+}
+
+func TestCompactToWholeLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	l, _ := openClean(t, path, Options{})
+	defer l.Close()
+	recs := chainRecords(3)
+	for i := range recs {
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := l.CompactTo("fp3") // head of the chain: everything superseded
+	if err != nil || dropped != 3 {
+		t.Fatalf("CompactTo: dropped %d, err %v", dropped, err)
+	}
+	st := l.Stats()
+	if st.Records != 0 || st.Bytes != int64(headerLen) {
+		t.Fatalf("after full compaction: %+v", st)
+	}
+	if st.LastCompaction.IsZero() {
+		t.Fatal("LastCompaction not stamped")
+	}
+	// The log still works: the chain restarts from the snapshot state.
+	next := Record{BaseFingerprint: "fp3", NewFingerprint: "fp4", Ops: []Op{{Kind: OpInsert, Point: []float64{1}}}}
+	if err := l.Append(next); err != nil {
+		t.Fatalf("append after compaction: %v", err)
+	}
+	f, _ := os.Open(path)
+	got, _, serr := Scan(f)
+	f.Close()
+	if serr != nil || len(got) != 1 || got[0].NewFingerprint != "fp4" {
+		t.Fatalf("post-compaction scan: %d records, %v", len(got), serr)
+	}
+}
+
+func TestCompactToPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	l, _ := openClean(t, path, Options{})
+	defer l.Close()
+	recs := chainRecords(5)
+	for i := range recs {
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot captured fp2; records 3..5 raced it and must survive.
+	dropped, err := l.CompactTo("fp2")
+	if err != nil || dropped != 2 {
+		t.Fatalf("CompactTo(fp2): dropped %d, err %v", dropped, err)
+	}
+	if st := l.Stats(); st.Records != 3 {
+		t.Fatalf("surviving records = %d, want 3", st.Records)
+	}
+	// Appends continue on the reopened suffix file.
+	next := Record{BaseFingerprint: "fp5", NewFingerprint: "fp6", Ops: []Op{{Kind: OpDelete, Index: 2}}}
+	if err := l.Append(next); err != nil {
+		t.Fatalf("append after prefix compaction: %v", err)
+	}
+	f, _ := os.Open(path)
+	got, _, serr := Scan(f)
+	f.Close()
+	if serr != nil {
+		t.Fatalf("scan: %v", serr)
+	}
+	want := append(append([]Record{}, recs[2:]...), next)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compaction content mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// No temp files left behind.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Fatalf("leftover file %s", e.Name())
+		}
+	}
+}
+
+func TestCompactToUnknownFingerprintIsNoOp(t *testing.T) {
+	l, _ := openClean(t, filepath.Join(t.TempDir(), "d.wal"), Options{})
+	defer l.Close()
+	recs := chainRecords(2)
+	for i := range recs {
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped, err := l.CompactTo("not-in-chain")
+	if err != nil || dropped != 0 {
+		t.Fatalf("unknown fp: dropped %d, err %v; want safe no-op", dropped, err)
+	}
+	// fp0 is the BASE of the first record, not any record's result:
+	// nothing is superseded, also a no-op.
+	dropped, err = l.CompactTo("fp0")
+	if err != nil || dropped != 0 {
+		t.Fatalf("base fp: dropped %d, err %v; want no-op", dropped, err)
+	}
+	if st := l.Stats(); st.Records != 2 {
+		t.Fatalf("no-op compaction changed the log: %+v", st)
+	}
+}
+
+// --- fault-injection battery ---
+
+func TestAppendWriteErrorLeavesLogIntact(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fault vfs.Fault
+	}{
+		{"enospc-short-write", vfs.Fault{Op: "write", AllowBytes: 5, Err: syscall.ENOSPC}},
+		{"eio-nothing-written", vfs.Fault{Op: "write", AllowBytes: 0, Err: syscall.EIO}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "d.wal")
+			ffs := vfs.NewFaultFS(vfs.OS())
+			l, _ := openClean(t, path, Options{FS: ffs})
+			recs := chainRecords(3)
+			if err := l.Append(recs[0]); err != nil {
+				t.Fatal(err)
+			}
+			ffs.Inject(tc.fault)
+			if err := l.Append(recs[1]); !errors.Is(err, tc.fault.Err) {
+				t.Fatalf("faulted append: %v, want %v", err, tc.fault.Err)
+			}
+			// The failed append rolled back: retry succeeds and the log
+			// holds exactly records 0 and 1.
+			if err := l.Append(recs[1]); err != nil {
+				t.Fatalf("retry after fault: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, _ := os.Open(path)
+			got, _, serr := Scan(f)
+			f.Close()
+			if serr != nil {
+				t.Fatalf("scan after fault: %v", serr)
+			}
+			if !reflect.DeepEqual(got, recs[:2]) {
+				t.Fatalf("log content after fault: %d records", len(got))
+			}
+		})
+	}
+}
+
+func TestAppendSyncErrorRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	ffs := vfs.NewFaultFS(vfs.OS())
+	l, _ := openClean(t, path, Options{FS: ffs, Sync: SyncAlways})
+	recs := chainRecords(2)
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(vfs.Fault{Op: "sync", Err: syscall.EIO})
+	if err := l.Append(recs[1]); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync-faulted append: %v", err)
+	}
+	// Not acknowledged, so not in the log; the retry lands it.
+	if err := l.Append(recs[1]); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	l.Close()
+	f, _ := os.Open(path)
+	got, _, serr := Scan(f)
+	f.Close()
+	if serr != nil || len(got) != 2 {
+		t.Fatalf("after sync fault: %d records, %v", len(got), serr)
+	}
+}
+
+func TestRollbackFailureBreaksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	ffs := vfs.NewFaultFS(vfs.OS())
+	l, _ := openClean(t, path, Options{FS: ffs})
+	recs := chainRecords(2)
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Write fails AND the rollback truncate fails: file state unknown.
+	ffs.Inject(vfs.Fault{Op: "write", AllowBytes: 3, Err: syscall.EIO})
+	ffs.Inject(vfs.Fault{Op: "truncate", Err: syscall.EIO})
+	if err := l.Append(recs[1]); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted append: %v", err)
+	}
+	if err := l.Append(recs[1]); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log: %v, want ErrBroken", err)
+	}
+	if _, err := l.CompactTo("fp1"); !errors.Is(err, ErrBroken) {
+		t.Fatalf("compact on broken log: %v, want ErrBroken", err)
+	}
+	l.Close()
+	// The previous durable prefix is still readable: record 0 survives
+	// the partial frame (torn tail).
+	got, _, serr := Scan(mustOpen(t, path))
+	if !errors.Is(serr, ErrTorn) {
+		t.Fatalf("scan: %v, want torn tail", serr)
+	}
+	if !reflect.DeepEqual(got, recs[:1]) {
+		t.Fatalf("durable prefix lost: %d records", len(got))
+	}
+}
+
+func TestBackgroundSyncFailureBreaksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	ffs := vfs.NewFaultFS(vfs.OS())
+	l, _ := openClean(t, path, Options{FS: ffs, Sync: SyncNone})
+	recs := chainRecords(1)
+	if err := l.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(vfs.Fault{Op: "sync", Err: syscall.EIO, Sticky: true})
+	if err := l.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("explicit sync: %v", err)
+	}
+	// fsyncgate: after a failed fsync durability is unknowable — the log
+	// must refuse to acknowledge anything further.
+	next := Record{BaseFingerprint: "fp1", NewFingerprint: "fp2", Ops: []Op{{Kind: OpDelete, Index: 0}}}
+	if err := l.Append(next); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append after failed sync: %v, want ErrBroken", err)
+	}
+	l.Close()
+}
+
+func TestCompactionFaultsPreserveLog(t *testing.T) {
+	// Each scripted fault aborts a prefix compaction; the log must keep
+	// its full pre-compaction content and keep accepting appends.
+	for _, tc := range []struct {
+		name  string
+		fault vfs.Fault
+	}{
+		{"temp-create", vfs.Fault{Op: "open", Path: ".wal-", Err: syscall.EACCES}},
+		{"temp-write", vfs.Fault{Op: "write", Path: ".wal-", AllowBytes: 2, Err: syscall.ENOSPC}},
+		{"temp-sync", vfs.Fault{Op: "sync", Path: ".wal-", Err: syscall.EIO}},
+		{"rename", vfs.Fault{Op: "rename", Err: syscall.EXDEV}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "d.wal")
+			ffs := vfs.NewFaultFS(vfs.OS())
+			l, _ := openClean(t, path, Options{FS: ffs})
+			defer l.Close()
+			recs := chainRecords(4)
+			for i := range recs {
+				if err := l.Append(recs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ffs.Inject(tc.fault)
+			if _, err := l.CompactTo("fp2"); err == nil {
+				t.Fatal("compaction should have failed")
+			}
+			// Nothing lost, appends still work.
+			next := Record{BaseFingerprint: "fp4", NewFingerprint: "fp5", Ops: []Op{{Kind: OpInsert, Point: []float64{3}}}}
+			if err := l.Append(next); err != nil {
+				t.Fatalf("append after failed compaction: %v", err)
+			}
+			f, _ := os.Open(path)
+			got, _, serr := Scan(f)
+			f.Close()
+			if serr != nil {
+				t.Fatalf("scan: %v", serr)
+			}
+			want := append(append([]Record{}, recs...), next)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("log content changed by failed compaction: %d records, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestCrashMidCompactionRecovers(t *testing.T) {
+	// Crash while writing the compaction temp file: on restart the
+	// original log is intact (the orphan temp is the registry sweep's
+	// job) and replay over the old snapshot still reaches the head.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.wal")
+	ffs := vfs.NewFaultFS(vfs.OS())
+	l, _ := openClean(t, path, Options{FS: ffs})
+	recs := chainRecords(4)
+	for i := range recs {
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.CrashAfterBytes(10) // resets the byte counter: dies 10 bytes into the temp copy
+	if _, err := l.CompactTo("fp2"); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("compaction: %v, want simulated crash", err)
+	}
+
+	// "Restart": reopen from the real filesystem.
+	l2, got, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("post-crash log lost records: %d, want %d", len(got), len(recs))
+	}
+	if plan, err := Plan(got, "fp2"); err != nil || len(plan) != 2 {
+		t.Fatalf("post-crash plan over the snapshot: %d records, %v", len(plan), err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "d.wal")
+			l, _ := openClean(t, path, Options{Sync: pol, SyncInterval: 5 * time.Millisecond})
+			recs := chainRecords(3)
+			for i := range recs {
+				if err := l.Append(recs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if pol == SyncInterval {
+				time.Sleep(25 * time.Millisecond) // let the ticker flush
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatalf("explicit sync: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, _, serr := Scan(mustOpen(t, path))
+			if serr != nil || len(got) != 3 {
+				t.Fatalf("%d records, %v", len(got), serr)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, _ := openClean(t, filepath.Join(t.TempDir(), "d.wal"), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := chainRecords(1)[0]
+	if err := l.Append(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync: %v", err)
+	}
+	if _, err := l.CompactTo("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConcurrentAppendAndStats(t *testing.T) {
+	l, _ := openClean(t, filepath.Join(t.TempDir(), "d.wal"), Options{Sync: SyncNone})
+	defer l.Close()
+	recs := chainRecords(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			l.Stats()
+		}
+	}()
+	// Appends are chained, so they must be sequential — but Stats and
+	// Sync race them; the race detector referees.
+	for i := range recs {
+		if err := l.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	<-done
+	if st := l.Stats(); st.Records != 64 {
+		t.Fatalf("records = %d", st.Records)
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

@@ -134,6 +134,19 @@ type DatasetEntry struct {
 	// when the server runs without WithAdmission or before the dataset's
 	// first gated request.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// WAL reports the dataset's write-ahead-log extent; absent when the
+	// server runs without WithMutationLog or the dataset has no log yet.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is a dataset's write-ahead-log slice of GET /v1/stats.
+type WALStats struct {
+	// Records and Bytes are the log's current record count and file size.
+	Records int64 `json:"wal_records"`
+	Bytes   int64 `json:"wal_bytes"`
+	// LastCompaction is when a snapshot last superseded log records;
+	// absent before the first compaction of this process.
+	LastCompaction *time.Time `json:"last_compaction,omitempty"`
 }
 
 // DatasetStats describes one served dataset.
@@ -366,6 +379,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Version:   version,
 			Latency:   s.latencyStats(name),
 			Admission: s.admissionStats(name),
+			WAL:       s.walStats(name),
 		}
 	})
 	// The legacy mirror fields reuse the per-dataset entry captured above,
@@ -486,8 +500,27 @@ func (s *Server) handleMutateDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	eng, version, err := s.reg.Mutate(ctx, name, func(cur *repro.Engine) (*repro.Engine, error) {
-		return cur.Apply(ctx, ops)
+	eng, version, err := s.reg.Mutate(ctx, name, func(cur *repro.Engine, curVersion uint64) (*repro.Engine, error) {
+		next, err := cur.Apply(ctx, ops)
+		if err != nil {
+			return nil, err
+		}
+		// Ack-after-append: the batch reaches the write-ahead log before
+		// the version swap that acknowledges it. If the append fails the
+		// mutation fails and the dataset is unchanged — the client can
+		// retry; nothing was acknowledged, nothing is lost.
+		if s.mutLog != nil {
+			rec := MutationRecord{
+				BaseVersion:     curVersion,
+				BaseFingerprint: cur.Dataset().Fingerprint(),
+				NewFingerprint:  next.Dataset().Fingerprint(),
+				Ops:             ops,
+			}
+			if err := s.mutLog.Append(name, rec); err != nil {
+				return nil, fmt.Errorf("mutation log append: %w", err)
+			}
+		}
+		return next, nil
 	})
 	if err != nil {
 		switch {

@@ -249,7 +249,7 @@ func TestRegistryMutateSwapUnderLoad(t *testing.T) {
 			repro.DeleteOp(100 + round),
 			repro.InsertOp([]float64{0.5, 0.4, 0.3}),
 		}
-		eng, v, err := reg.Mutate(ctx, "hotels", func(cur *repro.Engine) (*repro.Engine, error) {
+		eng, v, err := reg.Mutate(ctx, "hotels", func(cur *repro.Engine, _ uint64) (*repro.Engine, error) {
 			return cur.Apply(ctx, ops)
 		})
 		if err != nil {
@@ -300,7 +300,7 @@ func TestMutateWhileRemove(t *testing.T) {
 	mutDone := make(chan error, 1)
 	proceed := make(chan struct{})
 	go func() {
-		_, _, err := reg.Mutate(ctx, "cars", func(cur *repro.Engine) (*repro.Engine, error) {
+		_, _, err := reg.Mutate(ctx, "cars", func(cur *repro.Engine, _ uint64) (*repro.Engine, error) {
 			close(mutStarted)
 			<-proceed // hold the mutation mid-build while Remove runs
 			return cur.Apply(ctx, []repro.Op{repro.InsertOp([]float64{0.1, 0.2, 0.3})})

@@ -216,17 +216,20 @@ func (r *Registry) Version(name string) (uint64, error) {
 
 // Mutate replaces a dataset's engine with the successor produced by fn
 // (typically repro.Engine.Apply) and returns the new engine and version.
-// The swap is atomic: requests that Acquire after Mutate returns — and any
-// that race with the swap itself — see either the old version or the new
-// one, never a mix, and queries already pinned to the old version drain
-// against it untouched. Mutations of one name are serialised (two
-// concurrent Mutates cannot both derive from the same parent and lose an
-// update); fn runs without blocking queries or other datasets.
+// fn receives the current engine together with its version counter,
+// captured atomically — a write-ahead logger needs the pair to record
+// which state a batch applied to. The swap is atomic: requests that
+// Acquire after Mutate returns — and any that race with the swap itself —
+// see either the old version or the new one, never a mix, and queries
+// already pinned to the old version drain against it untouched. Mutations
+// of one name are serialised (two concurrent Mutates cannot both derive
+// from the same parent and lose an update); fn runs without blocking
+// queries or other datasets.
 //
 // When fn fails its error is returned verbatim and the dataset is
 // unchanged. A Remove racing with Mutate wins: the successor is discarded
 // and Mutate reports ErrDatasetNotFound.
-func (r *Registry) Mutate(ctx context.Context, name string, fn func(*repro.Engine) (*repro.Engine, error)) (*repro.Engine, uint64, error) {
+func (r *Registry) Mutate(ctx context.Context, name string, fn func(cur *repro.Engine, version uint64) (*repro.Engine, error)) (*repro.Engine, uint64, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
@@ -240,12 +243,12 @@ func (r *Registry) Mutate(ctx context.Context, name string, fn func(*repro.Engin
 		e.mu.Unlock()
 		return nil, 0, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
 	}
-	cur := e.eng
+	cur, curVersion := e.eng, e.version
 	e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
-	next, err := fn(cur)
+	next, err := fn(cur, curVersion)
 	if err != nil {
 		return nil, 0, err
 	}

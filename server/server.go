@@ -55,6 +55,7 @@ type Server struct {
 	reg        *Registry
 	loader     func(path string) (*repro.Engine, error)
 	mutateHook func(name string, eng *repro.Engine, version uint64)
+	mutLog     MutationLog // nil: mutations are not write-ahead logged
 	mux        *http.ServeMux
 	timeout    time.Duration
 	maxBatch   int
@@ -153,6 +154,48 @@ func WithMaxMutationOps(n int) Option {
 // write-behind. A nil hook (the default) disables the callback.
 func WithMutationHook(hook func(name string, eng *repro.Engine, version uint64)) Option {
 	return func(s *Server) { s.mutateHook = hook }
+}
+
+// MutationRecord is one dataset mutation as handed to a MutationLog:
+// the op batch plus the identity of the engine version it applied to
+// (version counter and content fingerprint) and the fingerprint of the
+// successor it produced. The fingerprints are what make a logged batch
+// replayable-with-proof: replay applies it only to a dataset whose
+// fingerprint matches the base, and verifies the result matches the new.
+type MutationRecord struct {
+	BaseVersion     uint64
+	BaseFingerprint string
+	NewFingerprint  string
+	Ops             []repro.Op
+}
+
+// MutationLogStats describes a dataset's mutation-log extent for the
+// stats surfaces.
+type MutationLogStats struct {
+	Records        int64
+	Bytes          int64
+	LastCompaction time.Time
+}
+
+// MutationLog is the durability hook of the mutate endpoint. When set
+// (WithMutationLog), the handler appends each batch BEFORE the version
+// swap that acknowledges it — ack-after-append — so an acknowledged
+// mutation is exactly as durable as the log's sync policy promises, and
+// an Append error fails the request with the dataset unchanged. maxrankd
+// backs this with one internal/wal log per dataset.
+type MutationLog interface {
+	// Append durably records one mutation of the named dataset. An error
+	// aborts the mutation.
+	Append(dataset string, rec MutationRecord) error
+	// Stats reports the named dataset's log extent; ok is false when the
+	// dataset has no log (e.g. no mutation has ever reached it).
+	Stats(dataset string) (MutationLogStats, bool)
+}
+
+// WithMutationLog wires a write-ahead log into the mutate path; see
+// MutationLog. A nil log (the default) keeps mutations memory-only.
+func WithMutationLog(log MutationLog) Option {
+	return func(s *Server) { s.mutLog = log }
 }
 
 // New builds a Server over one engine, registered under the name
@@ -327,6 +370,24 @@ func (s *Server) waitHooks(ctx context.Context) error {
 	}
 }
 
+// walStats converts the mutation log's view of a dataset into the stats
+// shape, or nil when there is no log (or none for this dataset yet).
+func (s *Server) walStats(name string) *WALStats {
+	if s.mutLog == nil {
+		return nil
+	}
+	st, ok := s.mutLog.Stats(name)
+	if !ok {
+		return nil
+	}
+	ws := &WALStats{Records: st.Records, Bytes: st.Bytes}
+	if !st.LastCompaction.IsZero() {
+		t := st.LastCompaction
+		ws.LastCompaction = &t
+	}
+	return ws
+}
+
 // logf logs through the configured logger, if any.
 func (s *Server) logf(format string, args ...any) {
 	if s.logger != nil {
@@ -381,6 +442,23 @@ func publishExpvar(s *Server) {
 		m.Set("admitted", counter(func(t *Server) int64 { return t.admitted.Load() }))
 		m.Set("shed_queue_full", counter(func(t *Server) int64 { return t.shedQueueFull.Load() }))
 		m.Set("shed_deadline", counter(func(t *Server) int64 { return t.shedDeadline.Load() }))
+		// Mutation-log extent, summed across datasets (0 without a log).
+		walSum := func(get func(MutationLogStats) int64) func(*Server) int64 {
+			return func(t *Server) int64 {
+				if t.mutLog == nil {
+					return 0
+				}
+				var total int64
+				t.reg.forEach(func(name string, _ *repro.Engine, _ uint64, _ repro.EngineStats) {
+					if st, ok := t.mutLog.Stats(name); ok {
+						total += get(st)
+					}
+				})
+				return total
+			}
+		}
+		m.Set("wal_records", counter(walSum(func(st MutationLogStats) int64 { return st.Records })))
+		m.Set("wal_bytes", counter(walSum(func(st MutationLogStats) int64 { return st.Bytes })))
 		expvar.Publish("maxrank", m)
 	})
 }

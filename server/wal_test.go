@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fakeMutationLog records appends in memory and can be scripted to fail,
+// standing in for the per-dataset WAL maxrankd wires in.
+type fakeMutationLog struct {
+	mu      sync.Mutex
+	records map[string][]MutationRecord
+	failErr error // next Append fails with this
+}
+
+func newFakeMutationLog() *fakeMutationLog {
+	return &fakeMutationLog{records: make(map[string][]MutationRecord)}
+}
+
+func (f *fakeMutationLog) Append(dataset string, rec MutationRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failErr != nil {
+		err := f.failErr
+		f.failErr = nil
+		return err
+	}
+	f.records[dataset] = append(f.records[dataset], rec)
+	return nil
+}
+
+func (f *fakeMutationLog) Stats(dataset string) (MutationLogStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	recs, ok := f.records[dataset]
+	if !ok {
+		return MutationLogStats{}, false
+	}
+	return MutationLogStats{
+		Records:        int64(len(recs)),
+		Bytes:          int64(len(recs) * 100),
+		LastCompaction: time.Unix(1700000000, 0),
+	}, true
+}
+
+func (f *fakeMutationLog) all(dataset string) []MutationRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]MutationRecord(nil), f.records[dataset]...)
+}
+
+// TestMutateAppendsToLogBeforeAck proves the ack-after-append contract at
+// the handler level: every 200 has a matching log record whose base and
+// new fingerprints bracket the dataset states, and a failed append yields
+// a 5xx with the dataset version and fingerprint unchanged.
+func TestMutateAppendsToLogBeforeAck(t *testing.T) {
+	mlog := newFakeMutationLog()
+	srv := newTestServer(t, withAdminLoader(), WithMutationLog(mlog))
+
+	code, body := get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st0 StatsResponse
+	if err := json.Unmarshal(body, &st0); err != nil {
+		t.Fatal(err)
+	}
+	fp0 := st0.Dataset.Fingerprint
+
+	// Two acknowledged mutations.
+	code, body = post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.91, 0.92, 0.93}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate 1 = %d: %s", code, body)
+	}
+	var mr1 MutateResponse
+	if err := json.Unmarshal(body, &mr1); err != nil {
+		t.Fatal(err)
+	}
+	code, body = post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Delete: intp(0)},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate 2 = %d: %s", code, body)
+	}
+	var mr2 MutateResponse
+	if err := json.Unmarshal(body, &mr2); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := mlog.all(DefaultDataset)
+	if len(recs) != 2 {
+		t.Fatalf("log holds %d records, want 2", len(recs))
+	}
+	if recs[0].BaseVersion != 1 || recs[0].BaseFingerprint != fp0 || recs[0].NewFingerprint != mr1.Fingerprint {
+		t.Fatalf("record 1 %+v does not bracket %s -> %s at version 1", recs[0], fp0, mr1.Fingerprint)
+	}
+	if recs[1].BaseVersion != 2 || recs[1].BaseFingerprint != mr1.Fingerprint || recs[1].NewFingerprint != mr2.Fingerprint {
+		t.Fatalf("record 2 %+v does not chain from record 1", recs[1])
+	}
+	if len(recs[0].Ops) != 1 || recs[0].Ops[0].Kind != repro.OpInsert {
+		t.Fatalf("record 1 ops %+v, want the insert batch", recs[0].Ops)
+	}
+
+	// A failed append must fail the mutation with the dataset unchanged.
+	mlog.mu.Lock()
+	mlog.failErr = errors.New("disk full")
+	mlog.mu.Unlock()
+	code, body = post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.5, 0.5, 0.5}},
+	}})
+	if code < 500 {
+		t.Fatalf("mutate with failing log = %d: %s (want 5xx)", code, body)
+	}
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st1 StatsResponse
+	if err := json.Unmarshal(body, &st1); err != nil {
+		t.Fatal(err)
+	}
+	entry := st1.Datasets[DefaultDataset]
+	if entry.Version != 3 || entry.Dataset.Fingerprint != mr2.Fingerprint {
+		t.Fatalf("failed append changed the dataset: version %d fingerprint %s (want 3, %s)",
+			entry.Version, entry.Dataset.Fingerprint, mr2.Fingerprint)
+	}
+	// Nothing was logged for the failed attempt, and a retry works.
+	if got := len(mlog.all(DefaultDataset)); got != 2 {
+		t.Fatalf("failed mutation logged: %d records", got)
+	}
+	code, body = post(t, srv, "/v1/datasets/default/mutate", MutateRequest{Ops: []MutateOp{
+		{Insert: []float64{0.5, 0.5, 0.5}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("retry after failed append = %d: %s", code, body)
+	}
+
+	// The stats surface exposes the log extent.
+	code, body = get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st2 StatsResponse
+	if err := json.Unmarshal(body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	wal := st2.Datasets[DefaultDataset].WAL
+	if wal == nil || wal.Records != 3 || wal.Bytes != 300 {
+		t.Fatalf("stats WAL entry %+v, want 3 records / 300 bytes", wal)
+	}
+	if wal.LastCompaction == nil || wal.LastCompaction.Unix() != 1700000000 {
+		t.Fatalf("stats WAL last_compaction %+v", wal.LastCompaction)
+	}
+}
+
+// TestStatsOmitsWALWithoutLog pins the opt-in shape: no WithMutationLog,
+// no "wal" key in the stats entry.
+func TestStatsOmitsWALWithoutLog(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := get(t, srv, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Datasets[DefaultDataset].WAL != nil {
+		t.Fatal("WAL stats present without a mutation log")
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	// omitempty on the pointer: the key itself is absent.
+	var dsets map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["datasets"], &dsets); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dsets[DefaultDataset]["wal"]; ok {
+		t.Fatal(`"wal" key serialized for a server without a mutation log`)
+	}
+}

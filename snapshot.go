@@ -3,13 +3,13 @@ package repro
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/pager"
 	"repro/internal/rstar"
 	"repro/internal/snapshot"
+	"repro/internal/vfs"
 )
 
 // WriteSnapshot persists the dataset and its R*-tree index in the
@@ -127,29 +127,52 @@ func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
 	}, nil
 }
 
-// WriteSnapshotFile persists the dataset to path atomically: the snapshot
-// is written to a temp file in the target directory, made world-readable
-// (snapshots are typically built by one user and served by another) and
-// renamed into place, so a crash mid-write never leaves a half-snapshot
-// under the target name. It is the write path of maxrank build-snapshot
-// and of maxrankd's -resnapshot write-behind.
+// WriteSnapshotFile persists the dataset to path atomically and durably:
+// the snapshot is written to a temp file in the target directory, fsynced,
+// made world-readable (snapshots are typically built by one user and
+// served by another) and renamed into place, and the directory entry is
+// fsynced too — so a crash mid-write never leaves a half-snapshot under
+// the target name, and a completed write survives power loss, not just
+// process death. It is the write path of maxrank build-snapshot and of
+// maxrankd's -resnapshot write-behind.
 func (ds *Dataset) WriteSnapshotFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	return ds.writeSnapshotFile(vfs.OS(), path)
+}
+
+// writeSnapshotFile is WriteSnapshotFile over an injectable filesystem,
+// so every failure point (temp creation, short write, fsync, rename) is
+// provable via vfs.FaultFS. Any failure leaves whatever previously
+// existed at path untouched.
+func (ds *Dataset) writeSnapshotFile(fsys vfs.FS, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := vfs.CreateTemp(fsys, dir, ".snap-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if err := ds.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// fsync before close: rename-into-place only publishes durable bytes
+	// if the file's data reached disk first (otherwise power loss can
+	// leave the target name pointing at a hole).
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+	if err := fsys.Chmod(tmp.Name(), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// The rename itself lives in the directory's metadata; without this
+	// fsync a power loss can roll the rename back.
+	return vfs.SyncDir(fsys, dir)
 }
 
 // ErrSnapshotMismatch marks a structurally valid snapshot whose recorded
