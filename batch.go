@@ -68,6 +68,11 @@ func (e *Engine) QueryGroup(ctx context.Context, focals []Focal, opts ...Option)
 	return out
 }
 
+// QueryGroupOpts is QueryGroup in struct form; see Engine.QueryOpts.
+func (e *Engine) QueryGroupOpts(ctx context.Context, focals []Focal, o QueryOptions) []GroupResult {
+	return e.QueryGroup(ctx, focals, o.option())
+}
+
 // queryBatchShared is QueryBatch's execution path under WithBatchSharing:
 // same contract (input-order results, first error wins and aborts the
 // rest), shared-prefix execution underneath.
@@ -134,16 +139,16 @@ func (e *Engine) runShared(ctx context.Context, focals []Focal, opts []Option, f
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.quadMaxPartial == 0 {
-		cfg.quadMaxPartial = e.ds.quadMaxPartial
+	if cfg.QuadMaxPartial == 0 {
+		cfg.QuadMaxPartial = e.ds.quadMaxPartial
 	}
-	if cfg.quadMaxDepth == 0 {
-		cfg.quadMaxDepth = e.ds.quadMaxDepth
+	if cfg.QuadMaxDepth == 0 {
+		cfg.QuadMaxDepth = e.ds.quadMaxDepth
 	}
-	strat, serr := cfg.alg.strategy()
+	strat, serr := cfg.Algorithm.strategy()
 	if serr == nil {
 		if d := e.ds.Dim(); !strat.SupportsDim(d) {
-			serr = fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.alg.resolved(), d, ErrBadQuery)
+			serr = fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.Algorithm.resolved(), d, ErrBadQuery)
 		}
 	}
 
@@ -380,7 +385,7 @@ func (e *Engine) runSharedGroup(ctx context.Context, group []*pendingQuery, cfg 
 	// materialises it (full mode). AA and its d = 2 specialisation expand
 	// the skyline lazily from the tree — for them only the dominator count
 	// is shared (light mode), which keeps the lazy expansion intact.
-	materialize := cfg.alg.resolved() != AA
+	materialize := cfg.Algorithm.resolved() != AA
 	prefix, err := core.BuildGroupPrefix(ctx, e.ds.tree, focals, materialize)
 	if err != nil {
 		for _, p := range group {
@@ -402,7 +407,7 @@ func (e *Engine) runSharedGroup(ctx context.Context, group []*pendingQuery, cfg 
 			failed = true
 			continue
 		}
-		p.res = convertResult(res, cfg.alg.resolved())
+		p.res = convertResult(res, cfg.Algorithm.resolved())
 	}
 	return failed
 }

@@ -154,6 +154,69 @@ func (w *workload) point(rng *rand.Rand, seq int64) []float64 {
 	return p
 }
 
+// tierMix is one entry of the -priorities weighted mix: every request
+// draws a priority tier with probability weight/total and carries it in
+// the request body, so the server's priority scheduler sees a blended
+// workload from a single client process.
+type tierMix struct {
+	priority string
+	weight   int
+}
+
+// parsePriorities parses "interactive=50,bulk=50" into a mix. Weights
+// are relative, not percentages; tiers may repeat ("" is valid and sends
+// no priority field, exercising the default path).
+func parsePriorities(s string) ([]tierMix, error) {
+	var mix []tierMix
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		prio, weightStr, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -priorities entry %q (want tier=weight)", tok)
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("bad -priorities weight in %q", tok)
+		}
+		switch strings.ToLower(strings.TrimSpace(prio)) {
+		case "", "interactive", "normal", "bulk":
+		default:
+			return nil, fmt.Errorf("unknown priority tier %q", prio)
+		}
+		mix = append(mix, tierMix{priority: strings.ToLower(strings.TrimSpace(prio)), weight: weight})
+	}
+	return mix, nil
+}
+
+// tierResult is one priority tier's slice of a mixed-priority run —
+// the numbers the priority overload gates read (interactive goodput must
+// hold under 2x offered load while bulk sheds).
+type tierResult struct {
+	Priority   string  `json:"priority"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Shed429    int64   `json:"shed_429,omitempty"`
+	Shed503    int64   `json:"shed_503,omitempty"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// tierStats accumulates one tier's counters during a run.
+type tierStats struct {
+	hist    histogram
+	ok      atomic.Int64
+	errs    atomic.Int64
+	shed429 atomic.Int64
+	shed503 atomic.Int64
+}
+
 // runResult is one traffic run's slice of the JSON report. Field names
 // deliberately avoid "name"/"gomaxprocs": scripts/bench_compare.sh greps
 // the merged BENCH json for those keys and must keep seeing only the
@@ -188,6 +251,9 @@ type runResult struct {
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
+	// Tiers breaks the run down per priority tier when -priorities set a
+	// mixed workload; the aggregate fields above still cover every request.
+	Tiers []tierResult `json:"tiers,omitempty"`
 }
 
 type report struct {
@@ -217,6 +283,8 @@ type cfg struct {
 	sweep       string
 	out         string
 	label       string
+	priorities  string
+	mixTiers    []tierMix
 }
 
 func main() {
@@ -238,6 +306,7 @@ func main() {
 	flag.StringVar(&c.sweep, "sweep", "", "comma-separated closed-loop concurrency levels (overrides -mode/-concurrency)")
 	flag.StringVar(&c.out, "out", "", "write the JSON report here (default stdout)")
 	flag.StringVar(&c.label, "label", "", "label recorded in the report")
+	flag.StringVar(&c.priorities, "priorities", "", `weighted priority mix, e.g. "interactive=50,bulk=50" (empty = no priority field)`)
 	flag.Parse()
 
 	if c.mode != "closed" && c.mode != "open" {
@@ -245,6 +314,13 @@ func main() {
 	}
 	if c.mix != "clustered" && c.mix != "uniform" && c.mix != "mixed" {
 		fatalf("unknown -mix %q (clustered, uniform or mixed)", c.mix)
+	}
+	if c.priorities != "" {
+		tiers, err := parsePriorities(c.priorities)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		c.mixTiers = tiers
 	}
 	dim, records, err := waitReady(c.url, c.dataset, 30*time.Second)
 	if err != nil {
@@ -300,17 +376,52 @@ func runTraffic(c *cfg, w *workload) runResult {
 	deadline := time.Now().Add(c.duration)
 	began := time.Now()
 
+	// Per-tier accounting for mixed-priority runs. Weighted draw over the
+	// cumulative weights picks each request's tier.
+	perTier := make(map[string]*tierStats, len(c.mixTiers))
+	var tierOrder []string
+	totalWeight := 0
+	for _, tm := range c.mixTiers {
+		totalWeight += tm.weight
+		if _, ok := perTier[tm.priority]; !ok {
+			perTier[tm.priority] = new(tierStats)
+			tierOrder = append(tierOrder, tm.priority)
+		}
+	}
+	pickTier := func(rng *rand.Rand) string {
+		n := rng.Intn(totalWeight)
+		for _, tm := range c.mixTiers {
+			if n < tm.weight {
+				return tm.priority
+			}
+			n -= tm.weight
+		}
+		return c.mixTiers[len(c.mixTiers)-1].priority
+	}
+
 	shoot := func(rng *rand.Rand, seq int64) {
-		body, _ := json.Marshal(map[string]any{
+		fields := map[string]any{
 			"dataset":   c.dataset,
 			"point":     w.point(rng, seq),
 			"tau":       c.tau,
 			"algorithm": c.algorithm,
-		})
+		}
+		var tier *tierStats
+		if len(c.mixTiers) > 0 {
+			prio := pickTier(rng)
+			tier = perTier[prio]
+			if prio != "" {
+				fields["priority"] = prio
+			}
+		}
+		body, _ := json.Marshal(fields)
 		start := time.Now()
 		resp, err := client.Post(c.url+"/v1/query", "application/json", bytes.NewReader(body))
 		if err != nil {
 			errCount.Add(1)
+			if tier != nil {
+				tier.errs.Add(1)
+			}
 			return
 		}
 		io.Copy(io.Discard, resp.Body)
@@ -321,13 +432,27 @@ func runTraffic(c *cfg, w *workload) runResult {
 			// Only served requests enter the histogram: shed responses
 			// return in microseconds and would make overload p50/p99
 			// look absurdly good.
-			hist.record(float64(time.Since(start)) / float64(time.Millisecond))
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			hist.record(ms)
+			if tier != nil {
+				tier.ok.Add(1)
+				tier.hist.record(ms)
+			}
 		case http.StatusTooManyRequests:
 			shed429.Add(1)
+			if tier != nil {
+				tier.shed429.Add(1)
+			}
 		case http.StatusServiceUnavailable:
 			shed503.Add(1)
+			if tier != nil {
+				tier.shed503.Add(1)
+			}
 		default:
 			errCount.Add(1)
+			if tier != nil {
+				tier.errs.Add(1)
+			}
 		}
 	}
 
@@ -415,7 +540,39 @@ func runTraffic(c *cfg, w *workload) runResult {
 	if res.Requests > 0 {
 		res.MeanMs = hist.sum / float64(res.Requests)
 	}
+	for _, prio := range tierOrder {
+		ts := perTier[prio]
+		tr := tierResult{
+			Priority: prio,
+			Requests: ts.ok.Load(),
+			Errors:   ts.errs.Load(),
+			Shed429:  ts.shed429.Load(),
+			Shed503:  ts.shed503.Load(),
+			MaxMs:    ts.hist.max,
+			P50Ms:    ts.hist.quantile(0.50),
+			P95Ms:    ts.hist.quantile(0.95),
+			P99Ms:    ts.hist.quantile(0.99),
+		}
+		if elapsed > 0 {
+			tr.GoodputRPS = float64(tr.Requests) / elapsed
+		}
+		if tr.Requests > 0 {
+			tr.MeanMs = ts.hist.sum / float64(tr.Requests)
+		}
+		res.Tiers = append(res.Tiers, tr)
+		fmt.Fprintf(os.Stderr, "loadtest:   tier %-11s %d ok, %d errors, shed 429=%d 503=%d, goodput %.1f req/s p50=%.2fms p99=%.2fms\n",
+			orAnon(prio), tr.Requests, tr.Errors, tr.Shed429, tr.Shed503, tr.GoodputRPS, tr.P50Ms, tr.P99Ms)
+	}
 	return res
+}
+
+// orAnon labels the empty tier (requests sent without a priority field)
+// in the stderr run summary.
+func orAnon(prio string) string {
+	if prio == "" {
+		return "(default)"
+	}
+	return prio
 }
 
 // waitReady polls /v1/stats until the target dataset is served (or the

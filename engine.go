@@ -201,6 +201,19 @@ func (e *Engine) query(ctx context.Context, focalIndex int, opts []Option, worke
 	return e.run(ctx, e.ds.points[focalIndex], int64(focalIndex), opts, workers)
 }
 
+// QueryOpts is Query in struct form: the options arrive as one
+// QueryOptions value instead of a positional Option list. Callers that
+// build their configuration from data (API handlers, config files) use
+// this; both forms share every code path and return identical results.
+func (e *Engine) QueryOpts(ctx context.Context, focalIndex int, o QueryOptions) (*Result, error) {
+	return e.query(ctx, focalIndex, []Option{o.option()}, e.queryParallel)
+}
+
+// QueryPointOpts is QueryPoint in struct form; see QueryOpts.
+func (e *Engine) QueryPointOpts(ctx context.Context, record []float64, o QueryOptions) (*Result, error) {
+	return e.QueryPoint(ctx, record, o.option())
+}
+
 // QueryPoint runs MaxRank for a hypothetical record that is not part of
 // the dataset (the paper's "what-if" scenario: evaluating a product before
 // launching it).
@@ -216,6 +229,11 @@ func (e *Engine) QueryPoint(ctx context.Context, record []float64, opts ...Optio
 		}
 	}
 	return e.run(ctx, vecmath.Point(record).Clone(), -1, opts, e.queryParallel)
+}
+
+// QueryBatchOpts is QueryBatch in struct form; see QueryOpts.
+func (e *Engine) QueryBatchOpts(ctx context.Context, focalIndexes []int, o QueryOptions) ([]*Result, error) {
+	return e.QueryBatch(ctx, focalIndexes, o.option())
 }
 
 // QueryBatch runs MaxRank for every listed focal record on a worker pool
@@ -312,11 +330,11 @@ func (e *Engine) run(ctx context.Context, focal vecmath.Point, focalID int64, op
 	// resolves; negative values flow through to the quadtree package,
 	// which treats them as "library default" — the per-query escape hatch
 	// from a dataset's tuned defaults (see WithQuadTree).
-	if cfg.quadMaxPartial == 0 {
-		cfg.quadMaxPartial = e.ds.quadMaxPartial
+	if cfg.QuadMaxPartial == 0 {
+		cfg.QuadMaxPartial = e.ds.quadMaxPartial
 	}
-	if cfg.quadMaxDepth == 0 {
-		cfg.quadMaxDepth = e.ds.quadMaxDepth
+	if cfg.QuadMaxDepth == 0 {
+		cfg.QuadMaxDepth = e.ds.quadMaxDepth
 	}
 	if e.cache == nil {
 		return e.compute(ctx, focal, focalID, &cfg, workers)
@@ -359,19 +377,19 @@ func (e *Engine) cacheKey(focal vecmath.Point, focalID int64, cfg *queryConfig) 
 		b.WriteString(hex.EncodeToString(buf))
 	}
 	fmt.Fprintf(&b, "|%d|%d|%d|%d|%t",
-		cfg.alg.resolved(), cfg.tau, cfg.quadMaxPartial, cfg.quadMaxDepth, cfg.collectIDs)
+		cfg.Algorithm.resolved(), cfg.Tau, cfg.QuadMaxPartial, cfg.QuadMaxDepth, cfg.OutrankIDs)
 	return b.String()
 }
 
 // compute executes one query for real: it picks the strategy and
 // attributes I/O to a per-query tracker.
 func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64, cfg *queryConfig, workers int) (*Result, error) {
-	strat, err := cfg.alg.strategy()
+	strat, err := cfg.Algorithm.strategy()
 	if err != nil {
 		return nil, err
 	}
 	if d := e.ds.Dim(); !strat.SupportsDim(d) {
-		return nil, fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.alg.resolved(), d, ErrBadQuery)
+		return nil, fmt.Errorf("repro: algorithm %v does not support dimensionality %d: %w", cfg.Algorithm.resolved(), d, ErrBadQuery)
 	}
 	tracker := new(pager.Tracker)
 	in := e.ds.internalInput(focal, focalID, cfg)
@@ -382,7 +400,7 @@ func (e *Engine) compute(ctx context.Context, focal vecmath.Point, focalID int64
 	if err != nil {
 		return nil, err
 	}
-	return convertResult(res, cfg.alg.resolved()), nil
+	return convertResult(res, cfg.Algorithm.resolved()), nil
 }
 
 // strategy maps the public Algorithm selector to its core strategy.

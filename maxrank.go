@@ -305,9 +305,9 @@ func (ds *Dataset) internalInput(focal vecmath.Point, focalID int64, cfg *queryC
 		Tree:             ds.tree,
 		Focal:            focal,
 		FocalID:          focalID,
-		Tau:              cfg.tau,
-		QuadMaxPartial:   cfg.quadMaxPartial,
-		QuadMaxDepth:     cfg.quadMaxDepth,
-		CollectRecordIDs: cfg.collectIDs,
+		Tau:              cfg.Tau,
+		QuadMaxPartial:   cfg.QuadMaxPartial,
+		QuadMaxDepth:     cfg.QuadMaxDepth,
+		CollectRecordIDs: cfg.OutrankIDs,
 	}
 }

@@ -52,26 +52,53 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("repro: unknown algorithm %q", name)
 }
 
-// Option configures a Compute call.
-type Option func(*queryConfig)
-
-type queryConfig struct {
-	alg            Algorithm
-	tau            int
-	quadMaxPartial int
-	quadMaxDepth   int
-	collectIDs     bool
+// QueryOptions is the struct form of a query's configuration — the single
+// source of truth the functional With* options write into. Callers that
+// assemble options from data (a decoded API request, a config file) use
+// the struct directly via Engine.QueryOpts and friends; callers that
+// prefer the option-list style keep using With*, which are thin adapters
+// over this struct. The zero value is a plain Auto MaxRank query.
+type QueryOptions struct {
+	// Algorithm selects the strategy (default Auto).
+	Algorithm Algorithm
+	// Tau enables iMaxRank: regions with rank up to k*+tau are reported
+	// (0 = plain MaxRank).
+	Tau int
+	// OutrankIDs materialises, per region, the IDs of the records that
+	// outrank the focal record there.
+	OutrankIDs bool
+	// QuadMaxPartial and QuadMaxDepth override the quad-tree leaf split
+	// threshold and depth cap per query. Zero resolves to the dataset's
+	// defaults (WithQuadDefaults) and then to the library defaults; a
+	// negative value forces the library default even on a dataset with
+	// tuned defaults.
+	QuadMaxPartial int
+	QuadMaxDepth   int
 }
+
+// option converts the struct to a single functional option that installs
+// it wholesale — the bridge that lets the *Opts entry points share every
+// code path with the option-list ones.
+func (o QueryOptions) option() Option {
+	return func(c *QueryOptions) { *c = o }
+}
+
+// queryConfig is the historical internal name for the resolved options.
+type queryConfig = QueryOptions
+
+// Option configures a Compute call. With* constructors are thin adapters
+// over QueryOptions; see that type for the field semantics.
+type Option func(*QueryOptions)
 
 // WithAlgorithm forces a specific algorithm (default Auto).
 func WithAlgorithm(a Algorithm) Option {
-	return func(c *queryConfig) { c.alg = a }
+	return func(c *QueryOptions) { c.Algorithm = a }
 }
 
 // WithTau enables iMaxRank: regions where the focal record ranks within
 // k*+tau are reported (default 0 = plain MaxRank).
 func WithTau(tau int) Option {
-	return func(c *queryConfig) { c.tau = tau }
+	return func(c *QueryOptions) { c.Tau = tau }
 }
 
 // WithQuadTree overrides the quad-tree leaf split threshold and depth cap
@@ -79,9 +106,9 @@ func WithTau(tau int) Option {
 // and then to the library defaults; a negative value forces the library
 // default even on a dataset with tuned defaults.
 func WithQuadTree(maxPartial, maxDepth int) Option {
-	return func(c *queryConfig) {
-		c.quadMaxPartial = maxPartial
-		c.quadMaxDepth = maxDepth
+	return func(c *QueryOptions) {
+		c.QuadMaxPartial = maxPartial
+		c.QuadMaxDepth = maxDepth
 	}
 }
 
@@ -90,5 +117,5 @@ func WithQuadTree(maxPartial, maxDepth int) Option {
 // removal makes p the top record in that region, together with the
 // dominators).
 func WithOutrankIDs(on bool) Option {
-	return func(c *queryConfig) { c.collectIDs = on }
+	return func(c *QueryOptions) { c.OutrankIDs = on }
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # loadtest.sh — drive maxrankd with cmd/loadtest and measure tail latency
-# and goodput under bursty clustered traffic. Two experiments:
+# and goodput under bursty clustered traffic. Three experiments:
 #
 #  1. Coalescing (PR 6): request coalescing off versus on, past the
 #     uncoalesced server's saturation point. The coalesced server merges
@@ -21,6 +21,16 @@
 #     Full mode additionally requires the admission-off 2x run to show
 #     the failure being prevented: worse p99 than the admission-on run.
 #
+#  3. Priority scheduling (PR 9): a 50/50 interactive/bulk mix offered at
+#     1x and 2x with admission on. The priority scheduler sheds bulk
+#     first, so the gates (QUICK and full):
+#       * interactive goodput at 2x >= PRIORITY_GOODPUT_MIN (default
+#         90%) of interactive goodput at 1x — overload lands on bulk,
+#         not on the latency-sensitive tier;
+#       * interactive p99 at 2x stays under the request timeout;
+#       * bulk requests still complete at 2x — aging promotes queued
+#         bulk work instead of starving it behind interactive traffic.
+#
 # The scenario is the one batch sharing is built for: FCA at d = 2 over a
 # page-latency ("disk") dataset, bursts of queries clustered around a hot
 # focal, injected faster than the server can scan for each one
@@ -36,10 +46,11 @@
 #                  gate and the admission-off collapse contrast.
 #   PORT           listen port for the scratch server (default 18491)
 #   BENCH          BENCH_PR*.json report to splice the results into as a
-#                  "loadtest" object (default BENCH_PR7.json; skipped
+#                  "loadtest" object (default BENCH_PR9.json; skipped
 #                  when the file does not exist or SPLICE=0)
 #   N, DIM, PAGE_LATENCY, RATE, BURST, DURATION, COALESCE,
-#   MAX_INFLIGHT, QUEUE_DEPTH, REQUEST_TIMEOUT, OVERLOAD_GOODPUT_MIN
+#   MAX_INFLIGHT, QUEUE_DEPTH, REQUEST_TIMEOUT, OVERLOAD_GOODPUT_MIN,
+#   PRIORITY_GOODPUT_MIN
 #                  workload knobs; defaults below per mode
 #
 # Requires only the Go toolchain and awk.
@@ -49,7 +60,7 @@ cd "$(dirname "$0")/.."
 QUICK=${QUICK:-0}
 PORT=${PORT:-18491}
 OUT_DIR=${1:-loadtest-out}
-BENCH=${BENCH:-BENCH_PR7.json}
+BENCH=${BENCH:-BENCH_PR9.json}
 SPLICE=${SPLICE:-1}
 
 DIM=${DIM:-2}
@@ -75,6 +86,7 @@ MAX_INFLIGHT=${MAX_INFLIGHT:-16}
 QUEUE_DEPTH=${QUEUE_DEPTH:-128}
 REQUEST_TIMEOUT=${REQUEST_TIMEOUT:-2s}
 OVERLOAD_GOODPUT_MIN=${OVERLOAD_GOODPUT_MIN:-0.70}
+PRIORITY_GOODPUT_MIN=${PRIORITY_GOODPUT_MIN:-0.90}
 
 BIN=$(mktemp -d)
 SRV_PID=""
@@ -90,12 +102,16 @@ go build -o "$BIN/maxrankd" ./cmd/maxrankd
 go build -o "$BIN/loadtest" ./cmd/loadtest
 mkdir -p "$OUT_DIR"
 
-# one_run <coalesce-window> <rate> <admission: "off" | "max-inflight queue-depth"> <out.json> <label>
+# one_run <coalesce-window> <rate> <admission: "off" | "max-inflight queue-depth"> <out.json> <label> [priorities]
 one_run() {
-    local window=$1 rate=$2 admission=$3 out=$4 label=$5
+    local window=$1 rate=$2 admission=$3 out=$4 label=$5 priorities=${6:-}
     local admit_flags=""
     if [ "$admission" != "off" ]; then
         admit_flags="-max-inflight ${admission% *} -queue-depth ${admission#* }"
+    fi
+    local prio_flags=""
+    if [ -n "$priorities" ]; then
+        prio_flags="-priorities $priorities"
     fi
     # shellcheck disable=SC2086
     "$BIN/maxrankd" -addr "127.0.0.1:$PORT" \
@@ -104,10 +120,11 @@ one_run() {
         -request-timeout "$REQUEST_TIMEOUT" \
         -coalesce "$window" $admit_flags >"$OUT_DIR/$label.server.log" 2>&1 &
     SRV_PID=$!
+    # shellcheck disable=SC2086
     "$BIN/loadtest" -url "http://127.0.0.1:$PORT" \
         -mode open -rate "$rate" -burst "$BURST" -duration "$DURATION" \
         -mix clustered -clusters 1 -spread 0.02 -algorithm fca -seed 7 \
-        -label "$label" -out "$out"
+        -label "$label" -out "$out" $prio_flags
     kill "$SRV_PID" 2>/dev/null || true
     wait "$SRV_PID" 2>/dev/null || true
     SRV_PID=""
@@ -117,11 +134,23 @@ field_of() {
     awk -F': ' '/"'"$2"'"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
 }
 
+# tier_field_of <report.json> <tier> <field>: read one field from the
+# named tier's entry in a run's "tiers" array. Tier entries each start
+# with a "priority" member, so the scan keys fields on the most recent
+# priority seen; the aggregate fields precede the tiers array and carry
+# no priority, so they never match.
+tier_field_of() {
+    awk -F': ' -v tier="$2" -v field="\"$3\"" '
+        /"priority"/ { cur = $2; gsub(/[", ]/, "", cur) }
+        index($0, field) && cur == tier { gsub(/[ ,]/, "", $2); print $2; exit }
+    ' "$1"
+}
+
 # --- Experiment 1: coalescing off vs on at the saturating rate --------------
 
-echo "run 1/5: coalescing off (every request scans alone)..." >&2
+echo "run 1/7: coalescing off (every request scans alone)..." >&2
 one_run 0 "$RATE" off "$OUT_DIR/coalesce_off.json" coalesce_off
-echo "run 2/5: coalescing $COALESCE (bursts merge into shared groups)..." >&2
+echo "run 2/7: coalescing $COALESCE (bursts merge into shared groups)..." >&2
 one_run "$COALESCE" "$RATE" off "$OUT_DIR/coalesce_on.json" coalesce_on
 
 P99_OFF=$(field_of "$OUT_DIR/coalesce_off.json" p99_ms)
@@ -148,9 +177,9 @@ fi
 RATE2=$(awk 'BEGIN { print 2 * '"$RATE"' }')
 ADMIT="$MAX_INFLIGHT $QUEUE_DEPTH"
 
-echo "run 3/5: admission on ($ADMIT), 1x offered load ($RATE req/s)..." >&2
+echo "run 3/7: admission on ($ADMIT), 1x offered load ($RATE req/s)..." >&2
 one_run 0 "$RATE" "$ADMIT" "$OUT_DIR/admit_1x.json" admit_1x
-echo "run 4/5: admission on ($ADMIT), 2x offered load ($RATE2 req/s)..." >&2
+echo "run 4/7: admission on ($ADMIT), 2x offered load ($RATE2 req/s)..." >&2
 one_run 0 "$RATE2" "$ADMIT" "$OUT_DIR/admit_2x.json" admit_2x
 
 GOOD_1X=$(field_of "$OUT_DIR/admit_1x.json" goodput_rps)
@@ -180,8 +209,47 @@ if awk 'BEGIN { exit !('"$P99_2X"' > '"$TIMEOUT_MS"') }'; then
 fi
 echo "overload gates: goodput 2x/1x = ${GOOD_2X}/${GOOD_1X} req/s (>= ${OVERLOAD_GOODPUT_MIN}), p99 2x = ${P99_2X} ms <= ${TIMEOUT_MS} ms, shed = ${SHED_2X}: OK" >&2
 
+# --- Experiment 3: priority scheduling under 2x mixed overload ---------------
+
+PRIO_MIX="interactive=50,bulk=50"
+
+echo "run 5/7: priority mix ($PRIO_MIX), 1x offered load ($RATE req/s)..." >&2
+one_run 0 "$RATE" "$ADMIT" "$OUT_DIR/priority_1x.json" priority_1x "$PRIO_MIX"
+echo "run 6/7: priority mix ($PRIO_MIX), 2x offered load ($RATE2 req/s)..." >&2
+one_run 0 "$RATE2" "$ADMIT" "$OUT_DIR/priority_2x.json" priority_2x "$PRIO_MIX"
+
+INT_GOOD_1X=$(tier_field_of "$OUT_DIR/priority_1x.json" interactive goodput_rps)
+INT_GOOD_2X=$(tier_field_of "$OUT_DIR/priority_2x.json" interactive goodput_rps)
+INT_P99_2X=$(tier_field_of "$OUT_DIR/priority_2x.json" interactive p99_ms)
+BULK_OK_2X=$(tier_field_of "$OUT_DIR/priority_2x.json" bulk requests)
+
+for v in "$INT_GOOD_1X" "$INT_GOOD_2X" "$INT_P99_2X"; do
+    if [ -z "$v" ] || ! awk 'BEGIN { exit !('"$v"' > 0) }'; then
+        echo "FAIL: priority run metric missing (interactive goodput 1x=$INT_GOOD_1X 2x=$INT_GOOD_2X p99 2x=$INT_P99_2X)" >&2
+        exit 1
+    fi
+done
+
+# Gate C: interactive goodput holds at 2x — overload is absorbed by bulk
+# shedding, not spread evenly across tiers.
+if awk 'BEGIN { exit !('"$INT_GOOD_2X"' < '"$PRIORITY_GOODPUT_MIN"' * '"$INT_GOOD_1X"') }'; then
+    echo "FAIL: interactive goodput degraded under 2x mixed overload: ${INT_GOOD_2X} < ${PRIORITY_GOODPUT_MIN} * ${INT_GOOD_1X} req/s" >&2
+    exit 1
+fi
+# Gate D: interactive tail stays inside the request timeout.
+if awk 'BEGIN { exit !('"$INT_P99_2X"' > '"$TIMEOUT_MS"') }'; then
+    echo "FAIL: interactive p99 at 2x mixed overload not bounded: ${INT_P99_2X} ms > ${TIMEOUT_MS} ms" >&2
+    exit 1
+fi
+# Gate E: bulk is degraded, not starved — aging keeps it completing.
+if [ -z "$BULK_OK_2X" ] || ! awk 'BEGIN { exit !('"${BULK_OK_2X:-0}"' > 0) }'; then
+    echo "FAIL: no bulk requests completed under 2x mixed overload (starved: aging not working?)" >&2
+    exit 1
+fi
+echo "priority gates: interactive goodput 2x/1x = ${INT_GOOD_2X}/${INT_GOOD_1X} req/s (>= ${PRIORITY_GOODPUT_MIN}), interactive p99 2x = ${INT_P99_2X} ms <= ${TIMEOUT_MS} ms, bulk completed = ${BULK_OK_2X}: OK" >&2
+
 if [ "$QUICK" != "1" ]; then
-    echo "run 5/5: admission OFF, 2x offered load (the collapse being prevented)..." >&2
+    echo "run 7/7: admission OFF, 2x offered load (the collapse being prevented)..." >&2
     one_run 0 "$RATE2" off "$OUT_DIR/noadmit_2x.json" noadmit_2x
     P99_NOADMIT=$(field_of "$OUT_DIR/noadmit_2x.json" p99_ms)
     GOOD_NOADMIT=$(field_of "$OUT_DIR/noadmit_2x.json" goodput_rps)
@@ -209,6 +277,10 @@ if [ "$SPLICE" = "1" ] && [ -f "$BENCH" ]; then
         sed 's/^/    /' "$OUT_DIR/admit_1x.json"
         echo '    ,"admit_2x":'
         sed 's/^/    /' "$OUT_DIR/admit_2x.json"
+        echo '    ,"priority_1x":'
+        sed 's/^/    /' "$OUT_DIR/priority_1x.json"
+        echo '    ,"priority_2x":'
+        sed 's/^/    /' "$OUT_DIR/priority_2x.json"
         if [ -f "$OUT_DIR/noadmit_2x.json" ]; then
             echo '    ,"noadmit_2x":'
             sed 's/^/    /' "$OUT_DIR/noadmit_2x.json"

@@ -8,33 +8,65 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/server/apiv1"
+)
+
+// Scheduling tiers, aliased from the wire contract: 0 (interactive) is
+// dispatched first, numTiers-1 (bulk) is shed first.
+const (
+	tierInteractive = apiv1.TierInteractive
+	tierNormal      = apiv1.TierNormal
+	tierBulk        = apiv1.TierBulk
+	numTiers        = apiv1.NumTiers
 )
 
 // WithAdmission bounds what each served dataset is allowed to execute
-// concurrently: at most maxInflight query/batch executions run at once,
-// up to queueDepth more wait in a bounded accept queue, and everything
-// beyond that is rejected early with 429 instead of being accepted into
-// an unbounded backlog the server cannot serve. Queued requests are
-// deadline-aware: a request whose remaining deadline cannot cover the
-// dataset's estimated service time (the p50 of its recent latency ring)
-// is shed with 503 the moment that becomes true, rather than holding a
-// queue slot it can only waste. Both rejections carry a Retry-After
-// header computed from the observed latency quantiles, so well-behaved
-// clients back off for roughly one queue-drain interval.
+// concurrently. Capacity is measured in cost units — one unit is the
+// dataset's median query (its overall p50) — and each request is charged
+// its estimated cost from the per-class latency rings (see the cost model
+// in docs/OPERATIONS.md): at most maxInflight units execute at once, up
+// to queueDepth more requests wait in a bounded accept queue, and
+// everything beyond that is rejected early with 429 instead of being
+// accepted into an unbounded backlog the server cannot serve. Before any
+// latency sample exists every request costs one unit, which makes a
+// fresh gate behave exactly like a request-count semaphore.
+//
+// The queue is priority-aware: requests declare a tier ("interactive" >
+// "normal" > "bulk", default normal), higher tiers are dispatched first,
+// and when the queue is full a new arrival evicts the newest waiter of a
+// strictly lower tier instead of being rejected — bulk sheds first.
+// Dispatch never bypasses a waiting higher-tier request ("head-of-line"
+// is per tier order, so a large interactive request cannot be starved by
+// small bulk ones slipping past it), and aging protects the low tiers
+// from starvation: a waiter that has accumulated one aging threshold of
+// queued weight-seconds (WithAging, default 5s; cost-weighted, so heavy
+// waiters age faster) is promoted one tier, and again a threshold later,
+// so under sustained interactive pressure a bulk request reaches the
+// front in bounded time instead of never.
+//
+// Queued requests are deadline-aware: a request whose remaining deadline
+// cannot cover its estimated service time is shed with 503 the moment
+// that becomes true rather than holding a queue slot it can only waste;
+// the estimate is re-evaluated each time the shed timer fires, so a
+// queue that drained faster than predicted keeps the request alive.
+// Both rejections carry a Retry-After header computed from the estimated
+// cost of the queued work, so well-behaved clients back off for roughly
+// one queue-drain interval.
 //
 // Status semantics: 429 Too Many Requests means "the accept queue is
-// full — the offered load exceeds capacity, send slower"; 503 Service
-// Unavailable means "admitted to the queue, but your deadline cannot be
-// met under the current backlog". Both are per-dataset conditions, not
-// process failures, and both are counted (admitted / shed_queue_full /
-// shed_deadline) in /v1/stats and expvar.
+// full — the offered load exceeds capacity, send slower" (including
+// eviction by a higher-priority arrival); 503 Service Unavailable means
+// "admitted to the queue, but your deadline cannot be met under the
+// current backlog". Both are per-dataset conditions, not process
+// failures, and both are counted (admitted / shed_queue_full /
+// shed_deadline, with per-tier breakdowns) in /v1/stats and expvar.
 //
 // Coalesced execution (WithCoalescing) counts each sealed group as ONE
-// admission unit — a burst that merges into one shared computation
-// occupies one execution slot, which is exactly why coalescing helps at
-// saturation — while its waiters stay individually deadline-aware: a
-// waiter whose deadline cannot be met sheds alone with 503, leaving the
-// rest of its group unharmed.
+// admission unit scheduled at the highest tier among its waiters, with
+// the summed cost of the queries it merged; its waiters stay
+// individually deadline-aware: a waiter whose deadline cannot be met
+// sheds alone with 503, leaving the rest of its group unharmed.
 //
 // maxInflight <= 0 (the default) disables admission control entirely;
 // queueDepth < 0 is treated as 0 (no queue: the limit is a hard cap).
@@ -47,28 +79,119 @@ func WithAdmission(maxInflight, queueDepth int) Option {
 	}
 }
 
+// WithAging sets the starvation bound of the priority queue: a waiter is
+// promoted one tier each time it accumulates threshold worth of queued
+// weight-seconds (cost-weighted wait — a 3-unit request ages three times
+// as fast as a 1-unit one). Default 5s; d <= 0 disables aging, letting
+// bulk requests starve under sustained higher-tier pressure.
+func WithAging(threshold time.Duration) Option {
+	return func(s *Server) { s.aging = threshold }
+}
+
 // AdmissionEnabled reports whether the server was built with admission
 // control (WithAdmission with a positive in-flight limit).
 func (s *Server) AdmissionEnabled() bool { return s.admitLimit > 0 }
 
-// gate is one dataset's admission state: a slot semaphore sized at the
-// in-flight limit, a counted (not materialised) wait queue, and the
-// shed/admit counters. Gates are created lazily per dataset name and
-// dropped on detach; the server-level counters (Server.admitted et al.)
-// stay cumulative across gate lifetimes.
-type gate struct {
-	limit int
-	depth int
-	slots chan struct{}
+// admitTicket describes one admission unit to the scheduler: its tier,
+// its cost class (what the per-class latency rings estimate its service
+// time from), how many class-sized queries it represents (scale > 1 for
+// a coalesced group), and how many requests of each tier it answers for
+// (the counters bill per request even when the scheduler bills per
+// group).
+type admitTicket struct {
+	tier  int
+	class costClass
+	scale int
+	count [numTiers]int64
+}
 
-	mu       sync.Mutex
-	queued   int
-	inflight int
-	hwm      int // high-water mark of concurrently held slots
+// ticketFor is the common single-request ticket.
+func ticketFor(tier int, class costClass) admitTicket {
+	tk := admitTicket{tier: tier, class: class, scale: 1}
+	tk.count[tier] = 1
+	return tk
+}
+
+// requests returns the total request count the ticket answers for.
+func (tk *admitTicket) requests() int64 {
+	var n int64
+	for _, c := range tk.count {
+		n += c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// waiter is one queued admission unit. All state transitions happen under
+// gate.mu; grant is buffered(1) and written exactly once (granted or
+// evicted), so transitions never block on the waiter's goroutine.
+type waiter struct {
+	tier    int // current scheduling tier; decreases as aging promotes
+	units   int
+	count   [numTiers]int64
+	enq     time.Time
+	grant   chan waiterEvent
+	state   int
+	promote *time.Timer // pending aging promotion, nil when unarmed
+}
+
+type waiterEvent int
+
+const (
+	evGranted waiterEvent = iota
+	evEvicted
+)
+
+// waiter states.
+const (
+	wQueued  = iota // in a tier queue
+	wGranted        // dispatched; event sent
+	wEvicted        // displaced by a higher-tier arrival; event sent
+	wGone           // removed by its own goroutine (deadline or cancel)
+)
+
+// gate is one dataset's admission state: the tiered wait queues, the
+// cost-unit ledger, and the shed/admit counters. Gates are created lazily
+// per dataset name and dropped on detach; the server-level counters
+// (Server.admitted et al.) stay cumulative across gate lifetimes.
+type gate struct {
+	srv   *Server
+	limit int // capacity in cost units
+	depth int // max queued waiters
+	aging time.Duration
+
+	mu            sync.Mutex
+	queues        [numTiers][]*waiter
+	queued        int // total waiters across tiers
+	queuedUnits   int // summed cost units of queued waiters
+	inflight      int // admission units executing
+	inflightUnits int // summed cost units executing
+	hwm           int // high-water mark of concurrently held cost units
 
 	admitted      atomic.Int64
 	shedQueueFull atomic.Int64
 	shedDeadline  atomic.Int64
+
+	tierAdmitted      [numTiers]atomic.Int64
+	tierShedQueueFull [numTiers]atomic.Int64
+	tierShedDeadline  [numTiers]atomic.Int64
+}
+
+// TierAdmissionStats is one scheduling tier's slice of a dataset's
+// admission counters.
+type TierAdmissionStats struct {
+	// Queued is the number of waiters currently scheduled in this tier
+	// (aging moves waiters between tiers, so a bulk request may appear
+	// here as normal after a promotion).
+	Queued int `json:"queued"`
+	// Admitted, ShedQueueFull and ShedDeadline count requests of this tier
+	// (by declared priority) that were granted, rejected 429, or dropped
+	// 503.
+	Admitted      int64 `json:"admitted"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
 }
 
 // AdmissionStats is one dataset's slice of the admission counters in
@@ -76,27 +199,36 @@ type gate struct {
 // gate's lifetime (a detach discards the gate; the server-level totals
 // in ServerStats survive it); Inflight and Queued are instantaneous.
 type AdmissionStats struct {
-	// MaxInflight and QueueDepth echo the configured bounds.
+	// MaxInflight and QueueDepth echo the configured bounds. MaxInflight
+	// is in cost units (one unit = the dataset's p50 query).
 	MaxInflight int `json:"max_inflight"`
 	QueueDepth  int `json:"queue_depth"`
 	// Inflight is the number of admission units executing right now;
-	// Queued is the number waiting for a slot.
+	// Queued is the number waiting for capacity.
 	Inflight int `json:"inflight"`
 	Queued   int `json:"queued"`
-	// Admitted counts requests that obtained an execution slot.
+	// InflightCostUnits and QueuedCostUnits are the estimated cost (in
+	// units of the dataset's p50) executing and waiting right now.
+	InflightCostUnits int `json:"inflight_cost_units"`
+	QueuedCostUnits   int `json:"queued_cost_units"`
+	// Admitted counts requests that obtained execution capacity.
 	Admitted int64 `json:"admitted"`
 	// ShedQueueFull counts requests rejected with 429 because the accept
-	// queue was full; ShedDeadline counts queued requests dropped with 503
+	// queue was full (or they were evicted from it by a higher-priority
+	// arrival); ShedDeadline counts queued requests dropped with 503
 	// because their deadline could no longer be met.
 	ShedQueueFull int64 `json:"shed_queue_full"`
 	ShedDeadline  int64 `json:"shed_deadline"`
+	// Tiers breaks the counters down by scheduling tier, keyed by tier
+	// name ("interactive", "normal", "bulk").
+	Tiers map[string]TierAdmissionStats `json:"tiers,omitempty"`
 }
 
-// shedError is the typed rejection of an admission decision. It maps to
-// its own HTTP status and carries the Retry-After the response must
-// advertise.
+// shedError is the typed rejection of an admission (or quota) decision.
+// It maps to its own HTTP status and carries the Retry-After the response
+// must advertise.
 type shedError struct {
-	status     int    // 429 (queue full) or 503 (deadline shed)
+	status     int    // 429 (queue full / quota) or 503 (deadline shed)
 	retryAfter int    // whole seconds, >= 1
 	reason     string // human-readable cause
 }
@@ -116,9 +248,10 @@ func (s *Server) gate(name string) *gate {
 	g := s.gates[name]
 	if g == nil {
 		g = &gate{
+			srv:   s,
 			limit: s.admitLimit,
 			depth: s.admitDepth,
-			slots: make(chan struct{}, s.admitLimit),
+			aging: s.aging,
 		}
 		s.gates[name] = g
 	}
@@ -152,147 +285,404 @@ func (s *Server) admissionStats(name string) *AdmissionStats {
 	}
 	g.mu.Lock()
 	st := &AdmissionStats{
-		MaxInflight: g.limit,
-		QueueDepth:  g.depth,
-		Inflight:    g.inflight,
-		Queued:      g.queued,
+		MaxInflight:       g.limit,
+		QueueDepth:        g.depth,
+		Inflight:          g.inflight,
+		Queued:            g.queued,
+		InflightCostUnits: g.inflightUnits,
+		QueuedCostUnits:   g.queuedUnits,
+	}
+	perTierQueued := [numTiers]int{}
+	for t := 0; t < numTiers; t++ {
+		perTierQueued[t] = len(g.queues[t])
 	}
 	g.mu.Unlock()
 	st.Admitted = g.admitted.Load()
 	st.ShedQueueFull = g.shedQueueFull.Load()
 	st.ShedDeadline = g.shedDeadline.Load()
+	st.Tiers = make(map[string]TierAdmissionStats, numTiers)
+	for t := 0; t < numTiers; t++ {
+		st.Tiers[apiv1.TierName(t)] = TierAdmissionStats{
+			Queued:        perTierQueued[t],
+			Admitted:      g.tierAdmitted[t].Load(),
+			ShedQueueFull: g.tierShedQueueFull[t].Load(),
+			ShedDeadline:  g.tierShedDeadline[t].Load(),
+		}
+	}
 	return st
 }
 
-// admit asks the named dataset's gate for one execution slot, on behalf
-// of weight requests (1 for a direct query or batch, the waiter count
-// for a coalesced group). It returns a release function that must be
+// countAdmitted / countShedQueueFull / countShedDeadline bill one
+// admission outcome to the gate and server counters, per tier and in
+// total. Counters count requests (a coalesced group bills each waiter at
+// its declared tier), while the capacity ledger counts cost units.
+func (s *Server) countAdmitted(g *gate, count [numTiers]int64) {
+	var total int64
+	for t, n := range count {
+		if n > 0 {
+			g.tierAdmitted[t].Add(n)
+			s.tierAdmitted[t].Add(n)
+			total += n
+		}
+	}
+	g.admitted.Add(total)
+	s.admitted.Add(total)
+}
+
+func (s *Server) countShedQueueFull(g *gate, count [numTiers]int64) {
+	var total int64
+	for t, n := range count {
+		if n > 0 {
+			g.tierShedQueueFull[t].Add(n)
+			s.tierShedQueueFull[t].Add(n)
+			total += n
+		}
+	}
+	g.shedQueueFull.Add(total)
+	s.shedQueueFull.Add(total)
+}
+
+func (s *Server) countShedDeadline(g *gate, count [numTiers]int64) {
+	var total int64
+	for t, n := range count {
+		if n > 0 {
+			g.tierShedDeadline[t].Add(n)
+			s.tierShedDeadline[t].Add(n)
+			total += n
+		}
+	}
+	g.shedDeadline.Add(total)
+	s.shedDeadline.Add(total)
+}
+
+// unitsFor converts an estimated service time to cost units: how many
+// median queries' worth of capacity the request should hold. With no
+// estimate (or no baseline yet) everything costs one unit — the
+// pre-cost-model behaviour.
+func (g *gate) unitsFor(estMs, unitMs float64) int {
+	if estMs <= 0 || unitMs <= 0 {
+		return 1
+	}
+	u := int(math.Round(estMs / unitMs))
+	if u < 1 {
+		u = 1
+	}
+	if u > g.limit {
+		u = g.limit
+	}
+	return u
+}
+
+// estimateTicketMs is the fresh service-time estimate for a ticket: the
+// class estimate times the number of class-sized queries the ticket
+// merges.
+func (s *Server) estimateTicketMs(name string, tk admitTicket) float64 {
+	scale := tk.scale
+	if scale < 1 {
+		scale = 1
+	}
+	return s.costEstimate(name, tk.class) * float64(scale)
+}
+
+// grantLocked moves cost units to the in-flight ledger and bills the
+// admission counters. Caller holds g.mu.
+func (g *gate) grantLocked(units int, count [numTiers]int64) {
+	g.inflightUnits += units
+	g.inflight++
+	if g.inflightUnits > g.hwm {
+		g.hwm = g.inflightUnits
+	}
+	g.srv.countAdmitted(g, count)
+}
+
+// dispatchLocked grants queued waiters, best tier first and FIFO within a
+// tier, while the head fits the remaining capacity. It stops at the first
+// head that does not fit: a waiting higher-tier request is never bypassed
+// by a smaller lower-tier one. Caller holds g.mu.
+func (g *gate) dispatchLocked() {
+	for {
+		var w *waiter
+		tier := -1
+		for t := 0; t < numTiers; t++ {
+			if len(g.queues[t]) > 0 {
+				w = g.queues[t][0]
+				tier = t
+				break
+			}
+		}
+		if w == nil || g.inflightUnits+w.units > g.limit {
+			return
+		}
+		g.queues[tier] = g.queues[tier][1:]
+		g.queued--
+		g.queuedUnits -= w.units
+		w.state = wGranted
+		g.stopPromoteLocked(w)
+		g.grantLocked(w.units, w.count)
+		w.grant <- evGranted
+	}
+}
+
+// unqueueLocked removes w from its tier queue (it must be wQueued).
+// Caller holds g.mu and sets w.state itself.
+func (g *gate) unqueueLocked(w *waiter) {
+	q := g.queues[w.tier]
+	for i, x := range q {
+		if x == w {
+			g.queues[w.tier] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	g.queued--
+	g.queuedUnits -= w.units
+	g.stopPromoteLocked(w)
+}
+
+// victimLocked picks the waiter a tier-`tier` arrival may displace when
+// the queue is full: the newest waiter of the lowest strictly-lower
+// tier, or nil when nothing queued outranks downward. Caller holds g.mu.
+func (g *gate) victimLocked(tier int) *waiter {
+	for t := numTiers - 1; t > tier; t-- {
+		if q := g.queues[t]; len(q) > 0 {
+			return q[len(q)-1]
+		}
+	}
+	return nil
+}
+
+// armPromoteLocked schedules w's next aging promotion: one tier step per
+// aging threshold of queued weight-seconds, so a waiter holding more
+// cost units ages proportionally faster. Caller holds g.mu.
+func (g *gate) armPromoteLocked(w *waiter) {
+	if g.aging <= 0 || w.tier == 0 {
+		return
+	}
+	delay := time.Duration(float64(g.aging) / float64(w.units))
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	w.promote = time.AfterFunc(delay, func() { g.promoteWaiter(w) })
+}
+
+func (g *gate) stopPromoteLocked(w *waiter) {
+	if w.promote != nil {
+		w.promote.Stop()
+		w.promote = nil
+	}
+}
+
+// promoteWaiter ages w one tier up (towards interactive), re-arms the
+// next step, and re-runs dispatch — the promotion may have put w at the
+// schedulable head.
+func (g *gate) promoteWaiter(w *waiter) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.state != wQueued || w.tier == 0 {
+		return
+	}
+	q := g.queues[w.tier]
+	for i, x := range q {
+		if x == w {
+			g.queues[w.tier] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	w.tier--
+	g.queues[w.tier] = append(g.queues[w.tier], w)
+	w.promote = nil
+	g.armPromoteLocked(w)
+	g.dispatchLocked()
+}
+
+// admit asks the named dataset's gate for execution capacity on behalf of
+// one admission unit (a direct query, a batch, or a whole coalesced
+// group — see admitTicket). It returns a release function that must be
 // called exactly once when the execution finishes (idempotent: extra
 // calls are no-ops), or a *shedError when the request was shed:
 //
-//   - 429 shed_queue_full when all slots are busy and the accept queue
-//     is at queueDepth;
+//   - 429 shed_queue_full when the accept queue is at queueDepth and the
+//     arrival outranks nothing in it — or, symmetrically, when a queued
+//     waiter is evicted by a strictly higher-tier arrival;
 //   - 503 shed_deadline when ctx carries a deadline that the estimated
-//     service time (the dataset's p50) can no longer be met within —
-//     checked at enqueue, and again by a timer that fires the moment
-//     waiting any longer would make the deadline unmeetable.
+//     service time can no longer be met within — checked at enqueue, and
+//     re-checked with a fresh estimate each time the shed timer fires
+//     (a backlog that drained faster than predicted keeps the request
+//     alive instead of shedding it on a stale forecast).
 //
 // A ctx cancelled while queued (client disconnect) returns ctx.Err()
 // and counts as neither admitted nor shed, so absent disconnects
 // admitted + shed_queue_full + shed_deadline equals the offered load.
-func (s *Server) admit(ctx context.Context, name string, weight int64) (release func(), err error) {
+func (s *Server) admit(ctx context.Context, name string, tk admitTicket) (release func(), err error) {
 	g := s.gate(name)
 	if g == nil {
 		return func() {}, nil
 	}
-	select {
-	case g.slots <- struct{}{}:
-		return s.grantSlot(g, weight), nil
-	default:
-	}
-	// All slots busy: try to queue.
-	g.mu.Lock()
-	if g.queued >= g.depth {
-		g.mu.Unlock()
-		g.shedQueueFull.Add(weight)
-		s.shedQueueFull.Add(weight)
-		return nil, &shedError{
-			status:     http.StatusTooManyRequests,
-			retryAfter: s.retryAfterSeconds(name, g),
-			reason:     "admission queue full",
+	unitMs, _ := s.latencyEstimate(name)
+	units := g.unitsFor(s.estimateTicketMs(name, tk), unitMs)
+	mkRelease := func() func() {
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				g.mu.Lock()
+				g.inflightUnits -= units
+				g.inflight--
+				g.dispatchLocked()
+				g.mu.Unlock()
+			})
 		}
 	}
-	g.queued++
-	g.mu.Unlock()
-	defer func() {
-		g.mu.Lock()
-		g.queued--
-		g.mu.Unlock()
-	}()
 
-	// Deadline-aware wait: shed at the last instant the request could
-	// still be started and finish by its deadline, assuming the dataset's
-	// estimated (p50) service time. The estimate is sampled once, at
-	// enqueue — a deliberate simplification documented in
-	// docs/OPERATIONS.md.
-	var shedC <-chan time.Time
-	if deadline, ok := ctx.Deadline(); ok {
-		budget := time.Until(deadline) - s.estimateService(name)
-		if budget <= 0 {
-			g.shedDeadline.Add(weight)
-			s.shedDeadline.Add(weight)
+	g.mu.Lock()
+	if g.queued == 0 && g.inflightUnits+units <= g.limit {
+		g.grantLocked(units, tk.count)
+		g.mu.Unlock()
+		return mkRelease(), nil
+	}
+	// Contended: queue, displacing a lower-tier waiter when full.
+	if g.queued >= g.depth {
+		victim := g.victimLocked(tk.tier)
+		if victim == nil {
+			queuedUnits := g.queuedUnits
+			g.mu.Unlock()
+			s.countShedQueueFull(g, tk.count)
 			return nil, &shedError{
-				status:     http.StatusServiceUnavailable,
-				retryAfter: s.retryAfterSeconds(name, g),
-				reason:     "deadline cannot be met in queue",
+				status:     http.StatusTooManyRequests,
+				retryAfter: s.retryAfterSeconds(name, queuedUnits, g.limit),
+				reason:     "admission queue full",
 			}
 		}
-		timer := time.NewTimer(budget)
-		defer timer.Stop()
-		shedC = timer.C
+		g.unqueueLocked(victim)
+		victim.state = wEvicted
+		victim.grant <- evEvicted
 	}
-	select {
-	case g.slots <- struct{}{}:
-		return s.grantSlot(g, weight), nil
-	case <-shedC:
-		g.shedDeadline.Add(weight)
-		s.shedDeadline.Add(weight)
-		return nil, &shedError{
-			status:     http.StatusServiceUnavailable,
-			retryAfter: s.retryAfterSeconds(name, g),
-			reason:     "deadline cannot be met in queue",
-		}
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	w := &waiter{
+		tier:  tk.tier,
+		units: units,
+		count: tk.count,
+		enq:   time.Now(),
+		grant: make(chan waiterEvent, 1),
 	}
-}
-
-// grantSlot records a successful admission (the caller already holds a
-// slot) and returns its idempotent release function.
-func (s *Server) grantSlot(g *gate, weight int64) func() {
-	g.admitted.Add(weight)
-	s.admitted.Add(weight)
-	g.mu.Lock()
-	g.inflight++
-	if g.inflight > g.hwm {
-		g.hwm = g.inflight
-	}
+	g.queues[w.tier] = append(g.queues[w.tier], w)
+	g.queued++
+	g.queuedUnits += units
+	g.armPromoteLocked(w)
+	g.dispatchLocked()
 	g.mu.Unlock()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
+
+	// Deadline-aware wait: shed at the last instant the request could
+	// still be started and finish by its deadline, assuming its estimated
+	// service time. The estimate is re-taken whenever the timer fires, so
+	// the decision always uses the freshest forecast.
+	var (
+		shedTimer *time.Timer
+		shedC     <-chan time.Time
+	)
+	deadline, hasDeadline := ctx.Deadline()
+	arm := func() bool {
+		est := time.Duration(s.estimateTicketMs(name, tk) * float64(time.Millisecond))
+		budget := time.Until(deadline) - est
+		if budget <= 0 {
+			return false
+		}
+		if shedTimer == nil {
+			shedTimer = time.NewTimer(budget)
+			shedC = shedTimer.C
+		} else {
+			shedTimer.Reset(budget)
+		}
+		return true
+	}
+	shedNow := hasDeadline && !arm()
+	if shedTimer != nil {
+		defer shedTimer.Stop()
+	}
+	if shedNow {
+		if se := s.abandonForDeadline(g, w, name); se != nil {
+			return nil, se
+		}
+		// Granted or evicted in the window before we could leave the
+		// queue; fall through and consume the event.
+	}
+
+	for {
+		select {
+		case ev := <-w.grant:
+			if ev == evGranted {
+				return mkRelease(), nil
+			}
 			g.mu.Lock()
-			g.inflight--
+			queuedUnits := g.queuedUnits
 			g.mu.Unlock()
-			<-g.slots
-		})
+			s.countShedQueueFull(g, w.count)
+			return nil, &shedError{
+				status:     http.StatusTooManyRequests,
+				retryAfter: s.retryAfterSeconds(name, queuedUnits, g.limit),
+				reason:     "evicted by higher-priority request",
+			}
+		case <-shedC:
+			// Re-evaluate before shedding: the queue may have drained
+			// faster than the estimate the timer was armed with.
+			if arm() {
+				continue
+			}
+			if se := s.abandonForDeadline(g, w, name); se != nil {
+				return nil, se
+			}
+			// Raced with a grant/eviction; loop to consume the event
+			// (buffered, so it is already there or imminent).
+			shedC = nil
+		case <-ctx.Done():
+			g.mu.Lock()
+			if w.state == wQueued {
+				g.unqueueLocked(w)
+				w.state = wGone
+				g.mu.Unlock()
+				return nil, ctx.Err()
+			}
+			g.mu.Unlock()
+			if ev := <-w.grant; ev == evGranted {
+				// Granted concurrently with cancellation: give the
+				// capacity back and report the disconnect.
+				mkRelease()()
+			}
+			return nil, ctx.Err()
+		}
 	}
 }
 
-// estimateService is the service-time estimate the deadline shedder
-// plans with: the p50 of the dataset's recent query latencies (0 when no
-// query has completed yet, which disables the enqueue-time check and
-// sheds purely on the deadline itself).
-func (s *Server) estimateService(name string) time.Duration {
-	p50, _ := s.latencyEstimate(name)
-	return time.Duration(p50 * float64(time.Millisecond))
+// abandonForDeadline removes w from the queue as a 503 deadline shed. It
+// returns nil when w is no longer queued (a grant or eviction raced the
+// removal — the caller must consume the pending event instead).
+func (s *Server) abandonForDeadline(g *gate, w *waiter, name string) *shedError {
+	g.mu.Lock()
+	if w.state != wQueued {
+		g.mu.Unlock()
+		return nil
+	}
+	g.unqueueLocked(w)
+	w.state = wGone
+	queuedUnits := g.queuedUnits
+	g.mu.Unlock()
+	s.countShedDeadline(g, w.count)
+	return &shedError{
+		status:     http.StatusServiceUnavailable,
+		retryAfter: s.retryAfterSeconds(name, queuedUnits, g.limit),
+		reason:     "deadline cannot be met in queue",
+	}
 }
 
 // retryAfterSeconds computes the Retry-After a shed response advertises:
-// the time the current queue needs to drain at one estimated service
-// time (p50) per slot, rounded up to whole seconds and clamped to
-// [1, 60] — an honest "come back when the backlog you were rejected
-// behind should be gone", not a fixed magic number.
-func (s *Server) retryAfterSeconds(name string, g *gate) int {
+// the time the queued work needs to drain — queuedUnits cost units at
+// one unit (the dataset's p50) each, across `limit` units of capacity —
+// rounded up to whole seconds and clamped to [1, 60]: an honest "come
+// back when the backlog you were rejected behind should be gone", not a
+// fixed magic number.
+func (s *Server) retryAfterSeconds(name string, queuedUnits, limit int) int {
 	p50, _ := s.latencyEstimate(name)
-	g.mu.Lock()
-	queued := g.queued
-	limit := g.limit
-	g.mu.Unlock()
 	if limit < 1 {
 		limit = 1
 	}
-	drainMs := float64(queued+1) * p50 / float64(limit)
+	drainMs := float64(queuedUnits+1) * p50 / float64(limit)
 	secs := int(math.Ceil(drainMs / 1000))
 	if secs < 1 {
 		secs = 1

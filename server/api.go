@@ -10,31 +10,21 @@ import (
 	"time"
 
 	"repro"
+	"repro/server/apiv1"
 )
 
-// QueryRequest is the body of POST /v1/query. Exactly one of Focal (an
-// index into the served dataset) or Point (a what-if record with the
-// dataset's dimensionality) must be set.
-type QueryRequest struct {
-	// Dataset names the served dataset to query. Empty resolves to the
-	// sole served dataset, or to the one named "default".
-	Dataset string `json:"dataset,omitempty"`
-	// Focal is the index of the focal record in the served dataset.
-	Focal *int `json:"focal,omitempty"`
-	// Point is a hypothetical focal record (the paper's what-if scenario).
-	Point []float64 `json:"point,omitempty"`
-	// Algorithm selects the strategy by name ("auto", "fca", "ba", "aa");
-	// empty means auto.
-	Algorithm string `json:"algorithm,omitempty"`
-	// Tau enables iMaxRank: regions with rank up to k*+tau are reported.
-	Tau int `json:"tau,omitempty"`
-	// OutrankIDs materialises, per region, the IDs of the records that
-	// outrank the focal record there.
-	OutrankIDs bool `json:"outrank_ids,omitempty"`
-	// MaxRegions truncates the reported regions (0 = all); TotalRegions in
-	// the response always reports the untruncated count.
-	MaxRegions int `json:"max_regions,omitempty"`
-}
+// The request envelopes and error schema of the /v1 API live in the
+// versioned wire-contract package; the server aliases them so existing
+// callers keep compiling against server.QueryRequest and friends. See
+// package apiv1 for the field semantics and the compatibility contract.
+type (
+	QueryRequest  = apiv1.QueryRequest
+	BatchRequest  = apiv1.BatchRequest
+	MutateOp      = apiv1.MutateOp
+	MutateRequest = apiv1.MutateRequest
+	AttachRequest = apiv1.AttachRequest
+	ErrorResponse = apiv1.ErrorResponse
+)
 
 // QueryResponse is the body of a successful POST /v1/query, and one
 // element of a batch response.
@@ -88,21 +78,6 @@ type QueryStats struct {
 	Algorithm string `json:"algorithm"`
 }
 
-// BatchRequest is the body of POST /v1/batch: the listed focal indexes are
-// queried on the engine's worker pool under shared options.
-type BatchRequest struct {
-	// Dataset names the served dataset to query; see QueryRequest.Dataset.
-	Dataset string `json:"dataset,omitempty"`
-	// Focals lists the in-dataset focal record indexes to query.
-	Focals []int `json:"focals"`
-	// Algorithm, Tau, OutrankIDs and MaxRegions apply to every query; see
-	// QueryRequest.
-	Algorithm  string `json:"algorithm,omitempty"`
-	Tau        int    `json:"tau,omitempty"`
-	OutrankIDs bool   `json:"outrank_ids,omitempty"`
-	MaxRegions int    `json:"max_regions,omitempty"`
-}
-
 // BatchResponse is the body of a successful POST /v1/batch; Results align
 // with the requested focal order.
 type BatchResponse struct {
@@ -134,6 +109,10 @@ type DatasetEntry struct {
 	// when the server runs without WithAdmission or before the dataset's
 	// first gated request.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// CostModel reports the dataset's per-class service-time estimates —
+	// what the admission controller charges requests of each shape; absent
+	// until an execution completes.
+	CostModel []CostClassStats `json:"cost_model,omitempty"`
 	// WAL reports the dataset's write-ahead-log extent; absent when the
 	// server runs without WithMutationLog or the dataset has no log yet.
 	WAL *WALStats `json:"wal,omitempty"`
@@ -176,33 +155,6 @@ type DatasetsResponse struct {
 	Datasets []DatasetInfo `json:"datasets"`
 }
 
-// AttachRequest is the body of POST /v1/datasets: load the index snapshot
-// at Path (a file on the server's filesystem) and serve it as Name. The
-// endpoint requires the server to have been built WithSnapshotLoader.
-type AttachRequest struct {
-	Name string `json:"name"`
-	Path string `json:"path"`
-}
-
-// MutateOp is one point mutation of a POST /v1/datasets/{name}/mutate
-// request. Exactly one of Insert and Delete must be set.
-type MutateOp struct {
-	// Insert is a record to add; it must have the dataset's dimensionality
-	// and finite coordinates.
-	Insert []float64 `json:"insert,omitempty"`
-	// Delete is the index of a record to remove. All indexes in a batch
-	// refer to the dataset version being mutated — an op never sees the
-	// effect of an earlier op in the same batch.
-	Delete *int `json:"delete,omitempty"`
-}
-
-// MutateRequest is the body of POST /v1/datasets/{name}/mutate. The batch
-// is atomic: one invalid op rejects the whole request and the dataset
-// version is unchanged.
-type MutateRequest struct {
-	Ops []MutateOp `json:"ops"`
-}
-
 // MutateResponse is the body of a successful mutate: the dataset's new
 // version counter and content fingerprint (the engine's result cache keys
 // on the fingerprint, so the version change also invalidates every cached
@@ -231,35 +183,44 @@ type ServerStats struct {
 	CoalescedGroups  int64 `json:"coalesced_groups"`
 	// Admitted, ShedQueueFull and ShedDeadline are the admission-control
 	// totals (see WithAdmission), cumulative across dataset detach and
-	// version swaps; all zero with admission disabled.
+	// version swaps; all zero with admission disabled. ShedQuota counts
+	// requests rejected by the per-client rate quota (see WithQuota).
 	Admitted      int64 `json:"admitted"`
 	ShedQueueFull int64 `json:"shed_queue_full"`
 	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedQuota     int64 `json:"shed_quota"`
+	// AdmissionTiers breaks the admission totals down by scheduling tier,
+	// keyed by tier name; absent with admission disabled.
+	AdmissionTiers map[string]TierTotals `json:"admission_tiers,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// TierTotals is one tier's slice of the server-level admission totals.
+type TierTotals struct {
+	Admitted      int64 `json:"admitted"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
 }
 
 // handleQuery serves POST /v1/query. With coalescing enabled
 // (WithCoalescing) the query joins the open group for its dataset and
 // options and waits for the shared execution; either way the reported
 // latency is measured from handler entry, so it includes any coalescing
-// wait.
+// wait. The request's priority tier and cost class steer admission; the
+// per-client quota (WithQuota) is checked first, so a rate-limited
+// client never occupies queue state.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	began := time.Now()
 	var req QueryRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if (req.Focal == nil) == (len(req.Point) == 0) {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("exactly one of focal or point must be set"))
-		return
-	}
-	opts, err := queryOptions(req.Algorithm, req.Tau, req.OutrankIDs)
+	opts, err := req.Options()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if se := s.quotaCheck(clientID(r, req.Client)); se != nil {
+		s.fail(w, se.status, se)
 		return
 	}
 	eng, name, release, err := s.reg.resolve(req.Dataset)
@@ -270,16 +231,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	tier := req.Priority.Tier()
 	var res *repro.Result
 	if s.coal != nil {
 		// Admission happens per coalesced GROUP (one unit per shared
-		// execution), inside the coalescer; waiters shed individually.
-		res, err = s.coalescedQuery(ctx, name, eng, &req, opts)
+		// execution, at the best tier among its waiters), inside the
+		// coalescer; waiters shed individually.
+		res, err = s.coalescedQuery(ctx, name, eng, &req, opts, tier)
 	} else {
 		var admitRelease func()
-		admitRelease, err = s.admit(ctx, name, 1)
+		admitRelease, err = s.admit(ctx, name, ticketFor(tier, classOf(opts, 1)))
 		if err == nil {
-			res, err = s.directQuery(ctx, eng, &req, opts)
+			res, err = s.directQuery(ctx, name, eng, &req, opts)
 			admitRelease()
 		}
 	}
@@ -293,12 +256,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // directQuery executes one query immediately on the resolved engine — the
 // uncoalesced path, also the coalescer's fallback when a detach races
-// group creation.
-func (s *Server) directQuery(ctx context.Context, eng *repro.Engine, req *QueryRequest, opts []repro.Option) (*repro.Result, error) {
+// group creation — and feeds the execution time back into the cost model.
+func (s *Server) directQuery(ctx context.Context, name string, eng *repro.Engine, req *QueryRequest, opts repro.QueryOptions) (*repro.Result, error) {
+	began := time.Now()
+	var res *repro.Result
+	var err error
 	if req.Focal != nil {
-		return eng.Query(ctx, *req.Focal, opts...)
+		res, err = eng.QueryOpts(ctx, *req.Focal, opts)
+	} else {
+		res, err = eng.QueryPointOpts(ctx, req.Point, opts)
 	}
-	return eng.QueryPoint(ctx, req.Point, opts...)
+	if err == nil {
+		s.recordCost(name, classOf(opts, 1), time.Since(began))
+	}
+	return res, err
 }
 
 // handleBatch serves POST /v1/batch.
@@ -307,17 +278,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Focals) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("focals must be non-empty"))
-		return
-	}
 	if len(req.Focals) > s.maxBatch {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the limit of %d", len(req.Focals), s.maxBatch))
 		return
 	}
-	opts, err := queryOptions(req.Algorithm, req.Tau, req.OutrankIDs)
+	opts, err := req.Options()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if se := s.quotaCheck(clientID(r, req.Client)); se != nil {
+		s.fail(w, se.status, se)
 		return
 	}
 	eng, name, release, err := s.reg.resolve(req.Dataset)
@@ -329,18 +300,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	// A batch is one admission unit: it already executes as one shared
-	// computation on the engine's worker pool.
-	admitRelease, err := s.admit(ctx, name, 1)
+	// computation on the engine's worker pool. Its cost class carries the
+	// batch-size bucket, so the controller charges it what batches of
+	// this shape have actually cost.
+	class := classOf(opts, len(req.Focals))
+	admitRelease, err := s.admit(ctx, name, ticketFor(req.Priority.Tier(), class))
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
 		return
 	}
-	results, err := eng.QueryBatch(ctx, req.Focals, opts...)
+	execBegan := time.Now()
+	results, err := eng.QueryBatchOpts(ctx, req.Focals, opts)
 	admitRelease()
 	if err != nil {
 		s.fail(w, queryStatus(err), err)
 		return
 	}
+	s.recordCost(name, class, time.Since(execBegan))
 	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
 	for i, res := range results {
 		resp.Results[i] = convertResult(res, req.MaxRegions)
@@ -363,7 +339,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Admitted:         s.admitted.Load(),
 			ShedQueueFull:    s.shedQueueFull.Load(),
 			ShedDeadline:     s.shedDeadline.Load(),
+			ShedQuota:        s.shedQuota.Load(),
 		},
+	}
+	if s.AdmissionEnabled() {
+		tiers := make(map[string]TierTotals, numTiers)
+		for t := 0; t < numTiers; t++ {
+			tiers[apiv1.TierName(t)] = TierTotals{
+				Admitted:      s.tierAdmitted[t].Load(),
+				ShedQueueFull: s.tierShedQueueFull[t].Load(),
+				ShedDeadline:  s.tierShedDeadline[t].Load(),
+			}
+		}
+		resp.Server.AdmissionTiers = tiers
 	}
 	s.reg.forEach(func(name string, eng *repro.Engine, version uint64, stats repro.EngineStats) {
 		ds := eng.Dataset()
@@ -379,6 +367,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Version:   version,
 			Latency:   s.latencyStats(name),
 			Admission: s.admissionStats(name),
+			CostModel: s.costStats(name),
 			WAL:       s.walStats(name),
 		}
 	})
@@ -428,10 +417,6 @@ func (s *Server) handleAttachDataset(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid dataset name %q", req.Name))
 		return
 	}
-	if req.Path == "" {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("path must be set"))
-		return
-	}
 	eng, err := s.loader(req.Path)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("loading snapshot %q: %w", req.Path, err))
@@ -475,29 +460,11 @@ func (s *Server) handleMutateDataset(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Ops) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("ops must be non-empty"))
-		return
-	}
 	if len(req.Ops) > s.maxOps {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d ops exceeds the limit of %d", len(req.Ops), s.maxOps))
 		return
 	}
-	ops := make([]repro.Op, 0, len(req.Ops))
-	var inserted, deleted int
-	for i, op := range req.Ops {
-		switch {
-		case len(op.Insert) > 0 && op.Delete == nil:
-			ops = append(ops, repro.InsertOp(op.Insert))
-			inserted++
-		case op.Delete != nil && len(op.Insert) == 0:
-			ops = append(ops, repro.DeleteOp(*op.Delete))
-			deleted++
-		default:
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("op %d: exactly one of insert and delete must be set", i))
-			return
-		}
-	}
+	ops, inserted, deleted := req.EngineOps()
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	eng, version, err := s.reg.Mutate(ctx, name, func(cur *repro.Engine, curVersion uint64) (*repro.Engine, error) {
@@ -593,13 +560,14 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return r.Context(), func() {}
 }
 
-// decode parses the JSON request body into dst, answering 400 itself on
-// malformed input and reporting whether the handler should proceed.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+// decode parses and validates the JSON request body into dst through the
+// versioned envelope's shared path (apiv1.Decode), answering 400 itself
+// on malformed or invalid input and reporting whether the handler should
+// proceed. The server contributes only the body-size bound; everything
+// about the payload itself is the envelope's.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst apiv1.Request) bool {
+	if err := apiv1.Decode(http.MaxBytesReader(w, r.Body, s.maxBody), dst); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -646,28 +614,6 @@ func queryStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
-}
-
-// queryOptions assembles the engine options shared by query and batch.
-func queryOptions(algorithm string, tau int, outrankIDs bool) ([]repro.Option, error) {
-	var opts []repro.Option
-	if algorithm != "" {
-		alg, err := repro.ParseAlgorithm(algorithm)
-		if err != nil {
-			return nil, err
-		}
-		opts = append(opts, repro.WithAlgorithm(alg))
-	}
-	if tau < 0 {
-		return nil, fmt.Errorf("tau must be >= 0, got %d", tau)
-	}
-	if tau > 0 {
-		opts = append(opts, repro.WithTau(tau))
-	}
-	if outrankIDs {
-		opts = append(opts, repro.WithOutrankIDs(true))
-	}
-	return opts, nil
 }
 
 // convertResult maps a repro.Result to its wire form, truncating regions

@@ -1,0 +1,310 @@
+// Package apiv1 is the versioned wire contract of the /v1 HTTP API: the
+// typed request envelopes (query, batch, mutate), the shared
+// decode-and-validate path every /v1 endpoint runs through, and the error
+// schema every non-2xx response carries. The server package aliases these
+// types, so handlers and clients compile against one definition; the
+// envelope owns everything that is true of a request independent of
+// server configuration (field syntax, mutual-exclusion rules, priority
+// and algorithm vocabulary), while per-deployment limits (batch caps,
+// body size) stay with the server.
+//
+// Compatibility contract: every wire payload accepted by the pre-envelope
+// decoders parses identically here — same fields, same
+// unknown-field rejection, same tolerance for trailing bytes after the
+// first JSON value (json.Decoder semantics). The golden-request test in
+// the server package replays the committed fuzz corpora to hold this.
+package apiv1
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro"
+)
+
+// Priority is a request's admission tier. Under overload the server
+// schedules interactive ahead of normal ahead of bulk, sheds bulk first,
+// and ages long-queued waiters upward so no tier starves (see
+// server.WithAdmission). Empty means PriorityNormal.
+type Priority string
+
+const (
+	// PriorityInteractive is for latency-sensitive point lookups — a
+	// seller watching their product's rank. Admitted first, shed last.
+	PriorityInteractive Priority = "interactive"
+	// PriorityNormal is the default tier.
+	PriorityNormal Priority = "normal"
+	// PriorityBulk is for analytics sweeps and batch scans that tolerate
+	// queueing: shed first under overload, protected from starvation only
+	// by aging.
+	PriorityBulk Priority = "bulk"
+)
+
+// ParsePriority maps a wire token to a Priority, case-insensitively;
+// empty means PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return PriorityNormal, nil
+	case string(PriorityInteractive):
+		return PriorityInteractive, nil
+	case string(PriorityNormal):
+		return PriorityNormal, nil
+	case string(PriorityBulk):
+		return PriorityBulk, nil
+	}
+	return "", fmt.Errorf("unknown priority %q (interactive, normal or bulk)", s)
+}
+
+// Tier is the Priority's scheduling index: 0 (interactive) is served
+// first, NumTiers-1 (bulk) is shed first. Unknown or empty values map to
+// the normal tier; Validate is where unknown values are rejected.
+func (p Priority) Tier() int {
+	switch pp, err := ParsePriority(string(p)); {
+	case err != nil:
+		return TierNormal
+	case pp == PriorityInteractive:
+		return TierInteractive
+	case pp == PriorityBulk:
+		return TierBulk
+	default:
+		return TierNormal
+	}
+}
+
+// Scheduling tiers, ordered best-first. These index the per-tier counters
+// in the admission stats.
+const (
+	TierInteractive = 0
+	TierNormal      = 1
+	TierBulk        = 2
+	NumTiers        = 3
+)
+
+// TierName returns the wire name of a scheduling tier ("interactive",
+// "normal", "bulk").
+func TierName(tier int) string {
+	switch tier {
+	case TierInteractive:
+		return string(PriorityInteractive)
+	case TierBulk:
+		return string(PriorityBulk)
+	default:
+		return string(PriorityNormal)
+	}
+}
+
+// Request is what the shared decode path accepts: an envelope that can
+// vouch for its own internal consistency. Validate reports the first
+// request-level error (mutually exclusive fields, unknown enum tokens,
+// out-of-range values) — everything that is wrong with the payload
+// itself, as opposed to wrong for a particular server's configuration.
+type Request interface {
+	Validate() error
+}
+
+// Decode parses one JSON request body into dst and validates it: the
+// single decode path of every /v1 endpoint. Unknown fields are rejected
+// (a misspelled option must not be silently ignored), while bytes after
+// the first JSON value are tolerated, matching json.Decoder and the
+// pre-envelope decoders bug-for-bug.
+func Decode(r io.Reader, dst Request) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return dst.Validate()
+}
+
+// QueryRequest is the body of POST /v1/query. Exactly one of Focal (an
+// index into the served dataset) or Point (a what-if record with the
+// dataset's dimensionality) must be set.
+type QueryRequest struct {
+	// Dataset names the served dataset to query. Empty resolves to the
+	// sole served dataset, or to the one named "default".
+	Dataset string `json:"dataset,omitempty"`
+	// Focal is the index of the focal record in the served dataset.
+	Focal *int `json:"focal,omitempty"`
+	// Point is a hypothetical focal record (the paper's what-if scenario).
+	Point []float64 `json:"point,omitempty"`
+	// Algorithm selects the strategy by name ("auto", "fca", "ba", "aa");
+	// empty means auto.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Tau enables iMaxRank: regions with rank up to k*+tau are reported.
+	Tau int `json:"tau,omitempty"`
+	// OutrankIDs materialises, per region, the IDs of the records that
+	// outrank the focal record there.
+	OutrankIDs bool `json:"outrank_ids,omitempty"`
+	// MaxRegions truncates the reported regions (0 = all); TotalRegions in
+	// the response always reports the untruncated count.
+	MaxRegions int `json:"max_regions,omitempty"`
+	// Priority is the request's admission tier (empty = normal); see
+	// Priority.
+	Priority Priority `json:"priority,omitempty"`
+	// Client identifies the caller for per-client quotas (the X-Client-ID
+	// header takes precedence when both are set); empty shares the
+	// anonymous bucket.
+	Client string `json:"client,omitempty"`
+}
+
+// Validate implements Request.
+func (r *QueryRequest) Validate() error {
+	if (r.Focal == nil) == (len(r.Point) == 0) {
+		return fmt.Errorf("exactly one of focal or point must be set")
+	}
+	return validateShared(r.Algorithm, r.Tau, r.Priority)
+}
+
+// Options converts the request's query-shaping fields to the engine's
+// struct form. Validate must have passed; Options re-checks the algorithm
+// only because it needs the parsed value anyway.
+func (r *QueryRequest) Options() (repro.QueryOptions, error) {
+	return buildOptions(r.Algorithm, r.Tau, r.OutrankIDs)
+}
+
+// BatchRequest is the body of POST /v1/batch: the listed focal indexes are
+// queried on the engine's worker pool under shared options.
+type BatchRequest struct {
+	// Dataset names the served dataset to query; see QueryRequest.Dataset.
+	Dataset string `json:"dataset,omitempty"`
+	// Focals lists the in-dataset focal record indexes to query.
+	Focals []int `json:"focals"`
+	// Algorithm, Tau, OutrankIDs and MaxRegions apply to every query; see
+	// QueryRequest.
+	Algorithm  string `json:"algorithm,omitempty"`
+	Tau        int    `json:"tau,omitempty"`
+	OutrankIDs bool   `json:"outrank_ids,omitempty"`
+	MaxRegions int    `json:"max_regions,omitempty"`
+	// Priority is the batch's admission tier (empty = normal). Batch scans
+	// are the workload PriorityBulk exists for.
+	Priority Priority `json:"priority,omitempty"`
+	// Client identifies the caller for per-client quotas; see
+	// QueryRequest.Client.
+	Client string `json:"client,omitempty"`
+}
+
+// Validate implements Request. The per-server batch size cap is enforced
+// by the handler, not here.
+func (r *BatchRequest) Validate() error {
+	if len(r.Focals) == 0 {
+		return fmt.Errorf("focals must be non-empty")
+	}
+	return validateShared(r.Algorithm, r.Tau, r.Priority)
+}
+
+// Options converts the batch's query-shaping fields to the engine's
+// struct form; see QueryRequest.Options.
+func (r *BatchRequest) Options() (repro.QueryOptions, error) {
+	return buildOptions(r.Algorithm, r.Tau, r.OutrankIDs)
+}
+
+// MutateOp is one point mutation of a POST /v1/datasets/{name}/mutate
+// request. Exactly one of Insert and Delete must be set.
+type MutateOp struct {
+	// Insert is a record to add; it must have the dataset's dimensionality
+	// and finite coordinates.
+	Insert []float64 `json:"insert,omitempty"`
+	// Delete is the index of a record to remove. All indexes in a batch
+	// refer to the dataset version being mutated — an op never sees the
+	// effect of an earlier op in the same batch.
+	Delete *int `json:"delete,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/datasets/{name}/mutate. The batch
+// is atomic: one invalid op rejects the whole request and the dataset
+// version is unchanged.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// Validate implements Request. Dimensionality and index-range checks need
+// the target dataset and happen in the engine; here the envelope enforces
+// only shape: a non-empty batch of well-formed ops. The per-server op cap
+// is the handler's.
+func (r *MutateRequest) Validate() error {
+	if len(r.Ops) == 0 {
+		return fmt.Errorf("ops must be non-empty")
+	}
+	for i, op := range r.Ops {
+		if (len(op.Insert) > 0) == (op.Delete != nil) {
+			return fmt.Errorf("op %d: exactly one of insert and delete must be set", i)
+		}
+	}
+	return nil
+}
+
+// EngineOps converts the validated batch to engine ops, reporting the
+// insert/delete composition for the response.
+func (r *MutateRequest) EngineOps() (ops []repro.Op, inserted, deleted int) {
+	ops = make([]repro.Op, 0, len(r.Ops))
+	for _, op := range r.Ops {
+		if len(op.Insert) > 0 {
+			ops = append(ops, repro.InsertOp(op.Insert))
+			inserted++
+		} else {
+			ops = append(ops, repro.DeleteOp(*op.Delete))
+			deleted++
+		}
+	}
+	return ops, inserted, deleted
+}
+
+// AttachRequest is the body of POST /v1/datasets: load the index snapshot
+// at Path (a file on the server's filesystem) and serve it as Name. The
+// endpoint requires the server to have been built WithSnapshotLoader.
+type AttachRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+// Validate implements Request. Dataset-name syntax is the registry's rule
+// and stays with the server; the envelope only requires the fields to be
+// present.
+func (r *AttachRequest) Validate() error {
+	if r.Path == "" {
+		return fmt.Errorf("path must be set")
+	}
+	return nil
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// validateShared checks the fields query and batch share.
+func validateShared(algorithm string, tau int, priority Priority) error {
+	if algorithm != "" {
+		if _, err := repro.ParseAlgorithm(algorithm); err != nil {
+			return err
+		}
+	}
+	if tau < 0 {
+		return fmt.Errorf("tau must be >= 0, got %d", tau)
+	}
+	if _, err := ParsePriority(string(priority)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildOptions assembles the engine options shared by query and batch.
+func buildOptions(algorithm string, tau int, outrankIDs bool) (repro.QueryOptions, error) {
+	var o repro.QueryOptions
+	if algorithm != "" {
+		alg, err := repro.ParseAlgorithm(algorithm)
+		if err != nil {
+			return o, err
+		}
+		o.Algorithm = alg
+	}
+	if tau < 0 {
+		return o, fmt.Errorf("tau must be >= 0, got %d", tau)
+	}
+	o.Tau = tau
+	o.OutrankIDs = outrankIDs
+	return o, nil
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The golden request tables: every wire payload here was replayed against
+// the pre-envelope server (hand-rolled per-handler decoding) and the
+// status captured. The apiv1 envelope must answer each byte-identical
+// payload with the same status — the compatibility contract documented in
+// package apiv1. The payloads are the fuzz corpus seeds, so the committed
+// corpora exercise the same surface.
+var goldenQueryRequests = []struct {
+	body   string
+	status int
+}{
+	{`{"focal": 1, "tau": 1}`, http.StatusOK},
+	{`{"focal": 0, "tau": 0, "algorithm": "AA", "outrank_ids": true}`, http.StatusOK},
+	{`{"point": [0.25, 0.5, 0.75], "algorithm": "fca", "tau": 2, "max_regions": 3}`, http.StatusBadRequest},
+	{`{"dataset": "nope", "focal": 1}`, http.StatusNotFound},
+	{`{"focal": -7}`, http.StatusBadRequest},
+	{`{"focal": 999999, "tau": 1000000}`, http.StatusBadRequest},
+	{`{"point": [1e308, -1e308, 0]}`, http.StatusOK},
+	{`{"point": []}`, http.StatusBadRequest},
+	{`{"focal": 1, "point": [0.1, 0.2, 0.3]}`, http.StatusBadRequest},
+	{`{"algorithm": "BOGUS"}`, http.StatusBadRequest},
+	{`{`, http.StatusBadRequest},
+	{`[]`, http.StatusBadRequest},
+	{`null`, http.StatusBadRequest},
+	{``, http.StatusBadRequest},
+	// json.Decoder reads one value and ignores trailing bytes; the
+	// envelope preserves that tolerance bug-for-bug.
+	{`{"focal": 1}trailing`, http.StatusOK},
+}
+
+var goldenMutateRequests = []struct {
+	body   string
+	status int
+}{
+	{`{"ops": [{"insert": [0.1, 0.2, 0.3]}]}`, http.StatusOK},
+	{`{"ops": [{"delete": 0}]}`, http.StatusOK},
+	{`{"ops": [{"insert": [0.5, 0.5, 0.5]}, {"delete": 199}]}`, http.StatusOK},
+	{`{"ops": []}`, http.StatusBadRequest},
+	{`{"ops": [{"insert": [0.1]}]}`, http.StatusBadRequest},
+	{`{"ops": [{"insert": [1e309, 0, 0]}]}`, http.StatusBadRequest},
+	{`{"ops": [{"delete": -1}]}`, http.StatusBadRequest},
+	{`{"ops": [{"delete": 100000000}]}`, http.StatusBadRequest},
+	{`{"ops": [{"insert": [0.1, 0.2, 0.3], "delete": 1}]}`, http.StatusBadRequest},
+	{`{"ops": [{}]}`, http.StatusBadRequest},
+	{`{`, http.StatusBadRequest},
+	{`null`, http.StatusBadRequest},
+	{``, http.StatusBadRequest},
+}
+
+// goldenPost drives one raw body through a handler and returns the
+// status and response body.
+func goldenPost(t *testing.T, srv *Server, path, body string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestGoldenQueryCompat replays the pre-envelope query corpus and demands
+// identical statuses from the apiv1 decode path.
+func TestGoldenQueryCompat(t *testing.T) {
+	srv := queryFuzzServer(t)
+	for i, tc := range goldenQueryRequests {
+		code, body := goldenPost(t, srv, "/v1/query", tc.body)
+		if code != tc.status {
+			t.Errorf("seed %02d %q: status %d, want %d (golden, pre-envelope): %s",
+				i, tc.body, code, tc.status, body)
+		}
+	}
+}
+
+// TestGoldenMutateCompat replays the pre-envelope mutate corpus. Each OK
+// mutation runs against the version its predecessors produced, exactly as
+// the capture did.
+func TestGoldenMutateCompat(t *testing.T) {
+	srv := mutateFuzzServer(t)
+	for i, tc := range goldenMutateRequests {
+		code, body := goldenPost(t, srv, "/v1/datasets/default/mutate", tc.body)
+		if code != tc.status {
+			t.Errorf("seed %02d %q: status %d, want %d (golden, pre-envelope): %s",
+				i, tc.body, code, tc.status, body)
+		}
+	}
+}

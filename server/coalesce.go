@@ -60,14 +60,15 @@ type coalesceGroup struct {
 	key     string
 	name    string // resolved dataset name (admission gate + registry pin)
 	eng     *repro.Engine
-	release func()         // the group's own registry pin (drain correctness)
-	opts    []repro.Option // shared by construction: the key encodes them
+	release func()             // the group's own registry pin (drain correctness)
+	opts    repro.QueryOptions // shared by construction: the key encodes them
 	timer   *time.Timer
 
 	mu         sync.Mutex
 	focals     []repro.Focal
 	replies    []chan coalesceReply
-	refs       int // waiters still listening
+	refs       int           // waiters still listening
+	tierRefs   [numTiers]int // still-listening waiters by declared tier
 	execCancel context.CancelFunc
 }
 
@@ -79,6 +80,9 @@ type coalesceReply struct {
 }
 
 // coalesceKey builds the group key for a request that resolved to eng.
+// Priority is deliberately excluded: requests of different tiers merge
+// into one group (the answer is identical), and the group is admitted at
+// the best tier among its waiters.
 func coalesceKey(name string, eng *repro.Engine, req *QueryRequest) string {
 	return name + "|" + fmt.Sprintf("%p", eng) + "|" + req.Algorithm + "|" +
 		strconv.Itoa(req.Tau) + "|" + strconv.FormatBool(req.OutrankIDs)
@@ -89,7 +93,7 @@ func coalesceKey(name string, eng *repro.Engine, req *QueryRequest) string {
 // waiter's reply channel and a drop function to call when the waiter
 // abandons the wait. ok is false when the group could not pin the
 // dataset (a detach won the race); the caller then executes directly.
-func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts []repro.Option, f repro.Focal) (ch <-chan coalesceReply, drop func(), ok bool) {
+func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts repro.QueryOptions, f repro.Focal, tier int) (ch <-chan coalesceReply, drop func(), ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	g := c.groups[key]
@@ -111,6 +115,7 @@ func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts []repro.Op
 	g.focals = append(g.focals, f)
 	g.replies = append(g.replies, reply)
 	g.refs++
+	g.tierRefs[tier]++
 	full := len(g.focals) >= c.s.maxBatch
 	g.mu.Unlock()
 	if full && g.timer.Stop() {
@@ -119,7 +124,7 @@ func (c *coalescer) enqueue(name, key string, eng *repro.Engine, opts []repro.Op
 		// fired, so this goroutine owns the run).
 		go c.run(g)
 	}
-	return reply, g.drop, true
+	return reply, func() { g.drop(tier) }, true
 }
 
 // run executes a sealed group and fans the per-member results back to the
@@ -156,19 +161,29 @@ func (c *coalescer) run(g *coalesceGroup) {
 		return
 	}
 	// The sealed group is ONE admission unit: however many waiters merged
-	// into it, the shared execution occupies one slot — coalescing under
-	// overload admits bursts at the cost of single queries. The group's
-	// own ctx (server-timeout bounded) governs its queue wait; waiters
-	// with tighter deadlines shed themselves individually while the group
-	// is queued (see coalescedQuery). Counters are per waiter still
-	// listening, so the stats reflect request-level admission.
+	// into it, the shared execution occupies one grant — coalescing under
+	// overload admits bursts at the cost of single queries. The scheduler
+	// sees it at the BEST tier among its still-listening waiters (one
+	// interactive passenger lifts the whole bus) with the summed cost of
+	// the queries it merged; the counters bill each waiter at its own
+	// declared tier. The group's own ctx (server-timeout bounded) governs
+	// its queue wait; waiters with tighter deadlines shed themselves
+	// individually while the group is queued (see coalescedQuery).
 	g.mu.Lock()
-	weight := int64(g.refs)
-	g.mu.Unlock()
-	if weight < 1 {
-		weight = 1
+	tk := admitTicket{tier: tierBulk, class: classOf(g.opts, 1), scale: g.refs}
+	for t := 0; t < numTiers; t++ {
+		if g.tierRefs[t] > 0 {
+			tk.count[t] = int64(g.tierRefs[t])
+			if t < tk.tier {
+				tk.tier = t
+			}
+		}
 	}
-	admitRelease, err := c.s.admit(ctx, g.name, weight)
+	g.mu.Unlock()
+	if tk.scale < 1 {
+		tk.scale = 1
+	}
+	admitRelease, err := c.s.admit(ctx, g.name, tk)
 	if err != nil {
 		for _, ch := range replies {
 			ch <- coalesceReply{err: err}
@@ -178,7 +193,14 @@ func (c *coalescer) run(g *coalesceGroup) {
 	defer admitRelease()
 	c.s.coalescedQueries.Add(int64(len(focals)))
 	c.s.coalescedGroups.Add(1)
-	out := g.eng.QueryGroup(ctx, focals, g.opts...)
+	execBegan := time.Now()
+	out := g.eng.QueryGroupOpts(ctx, focals, g.opts)
+	// One per-query cost sample per execution: the shared run's elapsed
+	// time divided across the queries it answered, recorded under the
+	// single-query class the group's admission estimate is built from.
+	if n := len(focals); n > 0 {
+		c.s.recordCost(g.name, classOf(g.opts, 1), time.Since(execBegan)/time.Duration(n))
+	}
 	for i, ch := range replies {
 		// Buffered(1) and written exactly once: never blocks, even for
 		// waiters that stopped listening.
@@ -186,13 +208,14 @@ func (c *coalescer) run(g *coalesceGroup) {
 	}
 }
 
-// drop records that one waiter abandoned the wait (client disconnect or
-// request deadline). When the last waiter leaves, the group's execution —
-// if it already started — is cancelled; otherwise run notices the empty
-// group and skips the work.
-func (g *coalesceGroup) drop() {
+// drop records that one waiter (of the given declared tier) abandoned
+// the wait (client disconnect or request deadline). When the last waiter
+// leaves, the group's execution — if it already started — is cancelled;
+// otherwise run notices the empty group and skips the work.
+func (g *coalesceGroup) drop(tier int) {
 	g.mu.Lock()
 	g.refs--
+	g.tierRefs[tier]--
 	cancel := g.execCancel
 	last := g.refs == 0
 	g.mu.Unlock()
@@ -207,54 +230,83 @@ func (g *coalesceGroup) drop() {
 // individually deadline-aware: while its group sits in the admission
 // queue, a waiter whose own deadline can no longer cover the estimated
 // service time sheds alone (503 + Retry-After) instead of burning its
-// remaining budget waiting — the rest of the group is unharmed.
-func (s *Server) coalescedQuery(ctx context.Context, name string, eng *repro.Engine, req *QueryRequest, opts []repro.Option) (*repro.Result, error) {
+// remaining budget waiting — the rest of the group is unharmed. Like the
+// gate's own shedder, the estimate is re-taken whenever the timer fires,
+// so a backlog that drained faster than forecast keeps the waiter alive.
+func (s *Server) coalescedQuery(ctx context.Context, name string, eng *repro.Engine, req *QueryRequest, opts repro.QueryOptions, tier int) (*repro.Result, error) {
 	var f repro.Focal
 	if req.Focal != nil {
 		f.Index = *req.Focal
 	} else {
 		f.Point = req.Point
 	}
-	ch, drop, ok := s.coal.enqueue(name, coalesceKey(name, eng, req), eng, opts, f)
+	class := classOf(opts, 1)
+	ch, drop, ok := s.coal.enqueue(name, coalesceKey(name, eng, req), eng, opts, f, tier)
 	if !ok {
 		// Detach race: execute directly, under the same admission rules
 		// as the uncoalesced path.
-		release, err := s.admit(ctx, name, 1)
+		release, err := s.admit(ctx, name, ticketFor(tier, class))
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		return s.directQuery(ctx, eng, req, opts)
+		return s.directQuery(ctx, name, eng, req, opts)
 	}
-	var shedC <-chan time.Time
-	if s.AdmissionEnabled() {
-		if deadline, dok := ctx.Deadline(); dok {
-			if budget := time.Until(deadline) - s.estimateService(name); budget > 0 {
-				timer := time.NewTimer(budget)
-				defer timer.Stop()
-				shedC = timer.C
-			} else {
-				shedC = closedTimeC
+	var (
+		shedTimer *time.Timer
+		shedC     <-chan time.Time
+	)
+	deadline, hasDeadline := ctx.Deadline()
+	arm := func() bool {
+		est := time.Duration(s.costEstimate(name, class) * float64(time.Millisecond))
+		budget := time.Until(deadline) - est
+		if budget <= 0 {
+			return false
+		}
+		if shedTimer == nil {
+			shedTimer = time.NewTimer(budget)
+			shedC = shedTimer.C
+		} else {
+			shedTimer.Reset(budget)
+		}
+		return true
+	}
+	if s.AdmissionEnabled() && hasDeadline {
+		if !arm() {
+			shedC = closedTimeC
+		}
+		if shedTimer != nil {
+			defer shedTimer.Stop()
+		}
+	}
+	for {
+		select {
+		case rep := <-ch:
+			return rep.res, rep.err
+		case <-shedC:
+			// Re-evaluate on a fresh estimate before giving up (unless the
+			// budget was already spent at enqueue).
+			if shedC != closedTimeC && arm() {
+				continue
 			}
+			drop()
+			var count [numTiers]int64
+			count[tier] = 1
+			if g := s.gate(name); g != nil {
+				s.countShedDeadline(g, count)
+			} else {
+				s.shedDeadline.Add(1)
+				s.tierShedDeadline[tier].Add(1)
+			}
+			return nil, &shedError{
+				status:     http.StatusServiceUnavailable,
+				retryAfter: s.coalesceRetryAfter(name),
+				reason:     "deadline cannot be met in queue",
+			}
+		case <-ctx.Done():
+			drop()
+			return nil, ctx.Err()
 		}
-	}
-	select {
-	case rep := <-ch:
-		return rep.res, rep.err
-	case <-shedC:
-		drop()
-		s.shedDeadline.Add(1)
-		if g := s.gate(name); g != nil {
-			g.shedDeadline.Add(1)
-		}
-		return nil, &shedError{
-			status:     http.StatusServiceUnavailable,
-			retryAfter: s.coalesceRetryAfter(name),
-			reason:     "deadline cannot be met in queue",
-		}
-	case <-ctx.Done():
-		drop()
-		return nil, ctx.Err()
 	}
 }
 
@@ -270,7 +322,11 @@ var closedTimeC = func() <-chan time.Time {
 // the dataset's gate, or 1s before any latency sample exists.
 func (s *Server) coalesceRetryAfter(name string) int {
 	if g := s.gate(name); g != nil {
-		return s.retryAfterSeconds(name, g)
+		g.mu.Lock()
+		queuedUnits := g.queuedUnits
+		limit := g.limit
+		g.mu.Unlock()
+		return s.retryAfterSeconds(name, queuedUnits, limit)
 	}
 	return 1
 }

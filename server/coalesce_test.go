@@ -266,7 +266,7 @@ func TestLatencyQuantiles(t *testing.T) {
 // TestLatencyRingWindow: the ring caps quantile memory but keeps the
 // lifetime count and max.
 func TestLatencyRingWindow(t *testing.T) {
-	var r latRing
+	r := newLatRing(latWindow)
 	for i := 0; i < latWindow+100; i++ {
 		r.record(time.Duration(i+1) * time.Microsecond)
 	}

@@ -117,6 +117,13 @@ var queryFuzzSeeds = [][]byte{
 	[]byte(`null`),
 	[]byte(``),
 	[]byte(`{"focal": 1}trailing`),
+	// Priority and client (the apiv1 envelope's additions): valid tiers in
+	// every case, unknown tiers rejected, quota identity accepted.
+	[]byte(`{"focal": 2, "priority": "interactive"}`),
+	[]byte(`{"focal": 3, "priority": "BULK", "client": "tenant-a"}`),
+	[]byte(`{"focal": 4, "priority": "urgent"}`),
+	[]byte(`{"focal": 5, "priority": "", "client": ""}`),
+	[]byte(`{"focal": 6, "client": "☃ unicode client"}`),
 }
 
 var mutateFuzzSeeds = [][]byte{

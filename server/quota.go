@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+)
+
+// quotaMaxClients bounds the bucket map. When a new client would push the
+// map past it, fully-idle buckets (back at burst capacity) are pruned
+// first; the cap is only soft — with more simultaneously active clients
+// than this the map grows past it rather than dropping rate state.
+const quotaMaxClients = 1024
+
+// WithQuota enforces a per-client token-bucket rate limit ahead of
+// admission: each client may issue rps query/batch requests per second
+// sustained, with bursts up to burst requests. Clients are identified by
+// the X-Client-ID header (preferred) or the request's "client" field;
+// requests carrying neither share one anonymous bucket, so an anonymous
+// free-for-all is collectively — not individually — limited. A request
+// over its bucket is shed with 429 + Retry-After (when the bucket
+// refills enough for one request, rounded up to whole seconds) and
+// counted as shed_quota in /v1/stats and expvar; it never reaches the
+// admission queue, so one aggressive client cannot displace the others'
+// queued work no matter what priority it claims.
+//
+// rps <= 0 (the default) disables quotas; burst < 1 is raised to 1.
+func WithQuota(rps float64, burst int) Option {
+	return func(s *Server) {
+		if rps <= 0 {
+			return
+		}
+		s.quotaRPS = rps
+		if burst < 1 {
+			burst = 1
+		}
+		s.quotaBurst = burst
+	}
+}
+
+// QuotaEnabled reports whether the server was built with per-client
+// quotas (WithQuota with a positive rate).
+func (s *Server) QuotaEnabled() bool { return s.quotaRPS > 0 }
+
+// tokenBucket is one client's quota state: a standard token bucket
+// refilled lazily on access.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaCheck charges one request to the client's bucket, returning the
+// 429 shed when the bucket is empty (and nil when quotas are off or the
+// request fits). The caller is identified before admission, so a shed
+// request never occupies queue state.
+func (s *Server) quotaCheck(client string) *shedError {
+	if s.quotaRPS <= 0 {
+		return nil
+	}
+	now := time.Now()
+	s.quotaMu.Lock()
+	b := s.quotaBuckets[client]
+	if b == nil {
+		if len(s.quotaBuckets) >= quotaMaxClients {
+			s.pruneQuotaLocked(now)
+		}
+		b = &tokenBucket{tokens: float64(s.quotaBurst), last: now}
+		s.quotaBuckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.quotaRPS
+	if b.tokens > float64(s.quotaBurst) {
+		b.tokens = float64(s.quotaBurst)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		s.quotaMu.Unlock()
+		return nil
+	}
+	deficit := 1 - b.tokens
+	s.quotaMu.Unlock()
+	s.shedQuota.Add(1)
+	retry := int(math.Ceil(deficit / s.quotaRPS))
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > 60 {
+		retry = 60
+	}
+	who := "anonymous clients"
+	if client != "" {
+		who = fmt.Sprintf("client %q", client)
+	}
+	return &shedError{
+		status:     http.StatusTooManyRequests,
+		retryAfter: retry,
+		reason:     fmt.Sprintf("%s over rate quota", who),
+	}
+}
+
+// pruneQuotaLocked drops buckets that have refilled to burst capacity —
+// clients idle long enough to carry no rate state worth keeping. Caller
+// holds quotaMu.
+func (s *Server) pruneQuotaLocked(now time.Time) {
+	for id, b := range s.quotaBuckets {
+		idle := b.tokens + now.Sub(b.last).Seconds()*s.quotaRPS
+		if idle >= float64(s.quotaBurst) {
+			delete(s.quotaBuckets, id)
+		}
+	}
+}
+
+// clientID resolves the quota identity of a request: the X-Client-ID
+// header wins over the body's "client" field; both empty means the
+// shared anonymous bucket.
+func clientID(r *http.Request, bodyClient string) string {
+	if h := r.Header.Get("X-Client-ID"); h != "" {
+		return h
+	}
+	return bodyClient
+}

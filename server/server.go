@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/server/apiv1"
 )
 
 // Server serves MaxRank queries from the engines in a Registry. Construct
@@ -67,14 +68,21 @@ type Server struct {
 	coalesceWindow time.Duration
 	coal           *coalescer // nil when coalescing is disabled
 
-	admitLimit int // WithAdmission in-flight cap (<= 0: admission off)
-	admitDepth int // WithAdmission accept-queue depth
+	admitLimit int           // WithAdmission in-flight cap in cost units (<= 0: admission off)
+	admitDepth int           // WithAdmission accept-queue depth
+	aging      time.Duration // WithAging promotion threshold (<= 0: no aging)
+
+	quotaRPS   float64 // WithQuota per-client rate (<= 0: quotas off)
+	quotaBurst int     // WithQuota per-client burst
 
 	latMu sync.Mutex
-	lat   map[string]*latRing // per-dataset query-latency rings
+	lat   map[string]*dsLatency // per-dataset latency + cost-model rings
 
 	gateMu sync.Mutex
 	gates  map[string]*gate // per-dataset admission gates (lazily created)
+
+	quotaMu      sync.Mutex
+	quotaBuckets map[string]*tokenBucket // per-client quota state
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -96,9 +104,16 @@ type Server struct {
 	// Server-level admission totals. Unlike the per-gate counters these
 	// survive dataset detach/re-attach and version swaps, so scrapers see
 	// monotonic counts (same contract as the cumulative engine counters).
-	admitted      atomic.Int64 // requests granted an execution slot
-	shedQueueFull atomic.Int64 // requests rejected 429: accept queue full
+	admitted      atomic.Int64 // requests granted execution capacity
+	shedQueueFull atomic.Int64 // requests rejected 429: accept queue full / evicted
 	shedDeadline  atomic.Int64 // queued requests dropped 503: deadline unmeetable
+	shedQuota     atomic.Int64 // requests rejected 429: client over rate quota
+
+	// Per-tier admission totals, indexed by scheduling tier; same
+	// monotonic-scraper contract as the totals above.
+	tierAdmitted      [numTiers]atomic.Int64
+	tierShedQueueFull [numTiers]atomic.Int64
+	tierShedDeadline  [numTiers]atomic.Int64
 }
 
 // Option configures a Server.
@@ -221,15 +236,17 @@ func NewMulti(reg *Registry, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("server: nil registry")
 	}
 	s := &Server{
-		reg:      reg,
-		timeout:  30 * time.Second,
-		maxBatch: 1024,
-		maxOps:   4096,
-		maxBody:  1 << 20,
-		logger:   log.Default(),
-		start:    time.Now(),
-		lat:      make(map[string]*latRing),
-		gates:    make(map[string]*gate),
+		reg:          reg,
+		timeout:      30 * time.Second,
+		maxBatch:     1024,
+		maxOps:       4096,
+		maxBody:      1 << 20,
+		aging:        5 * time.Second,
+		logger:       log.Default(),
+		start:        time.Now(),
+		lat:          make(map[string]*dsLatency),
+		gates:        make(map[string]*gate),
+		quotaBuckets: make(map[string]*tokenBucket),
 	}
 	for _, o := range opts {
 		o(s)
@@ -442,6 +459,14 @@ func publishExpvar(s *Server) {
 		m.Set("admitted", counter(func(t *Server) int64 { return t.admitted.Load() }))
 		m.Set("shed_queue_full", counter(func(t *Server) int64 { return t.shedQueueFull.Load() }))
 		m.Set("shed_deadline", counter(func(t *Server) int64 { return t.shedDeadline.Load() }))
+		m.Set("shed_quota", counter(func(t *Server) int64 { return t.shedQuota.Load() }))
+		// Per-tier admission totals (admitted_interactive, shed_queue_full_bulk, ...).
+		for tier := 0; tier < numTiers; tier++ {
+			tier := tier
+			m.Set("admitted_"+apiv1.TierName(tier), counter(func(t *Server) int64 { return t.tierAdmitted[tier].Load() }))
+			m.Set("shed_queue_full_"+apiv1.TierName(tier), counter(func(t *Server) int64 { return t.tierShedQueueFull[tier].Load() }))
+			m.Set("shed_deadline_"+apiv1.TierName(tier), counter(func(t *Server) int64 { return t.tierShedDeadline[tier].Load() }))
+		}
 		// Mutation-log extent, summed across datasets (0 without a log).
 		walSum := func(get func(MutationLogStats) int64) func(*Server) int64 {
 			return func(t *Server) int64 {
