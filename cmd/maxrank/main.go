@@ -14,6 +14,8 @@
 //
 //	maxrank build-snapshot -data hotels.csv -out hotels.snap
 //	maxrank build-snapshot -gen ANTI -n 100000 -dim 4 -out anti.snap
+//	maxrank build-snapshot -gen IND -n 100000 -f32 -out ind.snap    # float32 points
+//	maxrank migrate-snapshot -in legacy.snap -out hotels.snap       # v1 -> v2 (mmap-able)
 //	maxrank inspect-snapshot hotels.snap
 package main
 
@@ -40,10 +42,12 @@ func main() {
 		switch os.Args[1] {
 		case "build-snapshot":
 			buildSnapshotCmd(os.Args[2:])
+		case "migrate-snapshot":
+			migrateSnapshotCmd(os.Args[2:])
 		case "inspect-snapshot":
 			inspectSnapshotCmd(os.Args[2:])
 		default:
-			fatal(fmt.Errorf("unknown command %q (commands: build-snapshot, inspect-snapshot)", os.Args[1]))
+			fatal(fmt.Errorf("unknown command %q (commands: build-snapshot, migrate-snapshot, inspect-snapshot)", os.Args[1]))
 		}
 		return
 	}

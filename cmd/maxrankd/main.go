@@ -59,6 +59,7 @@ type config struct {
 	resnapshot  bool
 	batchShare  bool
 	pageLatency time.Duration
+	noMmap      bool
 
 	wal             bool
 	walSync         string
@@ -119,20 +120,21 @@ func (c *config) engineOptions() []repro.EngineOption {
 
 // datasetOptions are the options every dataset in this process shares.
 func (c *config) datasetOptions() []repro.DatasetOption {
+	var opts []repro.DatasetOption
 	if c.pageLatency > 0 {
-		return []repro.DatasetOption{repro.WithPageLatency(c.pageLatency)}
+		opts = append(opts, repro.WithPageLatency(c.pageLatency))
 	}
-	return nil
+	if c.noMmap {
+		opts = append(opts, repro.WithMmap(false))
+	}
+	return opts
 }
 
 // loadSnapshotEngine builds one serving engine from a snapshot file.
+// Format-v2 snapshots are memory-mapped and served zero-copy (unless
+// -mmap=false); v1 snapshots decode onto the heap.
 func (c *config) loadSnapshotEngine(path string) (*repro.Engine, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	ds, err := repro.LoadSnapshot(f, c.datasetOptions()...)
+	ds, err := repro.LoadSnapshotFile(path, c.datasetOptions()...)
 	if err != nil {
 		return nil, fmt.Errorf("loading snapshot %s: %w", path, err)
 	}
@@ -186,8 +188,9 @@ func (c *config) buildRegistry(logger *log.Logger, walMgr *walManager) (*server.
 				return nil, err
 			}
 			ds := eng.Dataset()
-			logger.Printf("loaded %s: %d records (%d attributes, fingerprint %s) as %q",
-				path, ds.Len(), ds.Dim(), ds.Fingerprint(), name)
+			st := ds.Storage()
+			logger.Printf("loaded %s: %d records (%d attributes, fingerprint %s, %s v%d) as %q",
+				path, ds.Len(), ds.Dim(), ds.Fingerprint(), st.Mode, st.SnapshotVersion, name)
 		}
 		if walMgr != nil {
 			warnStrayWALs(c.dataDir, func(name string) bool {
@@ -327,6 +330,7 @@ func main() {
 	// explicit worker count; see docs/PERFORMANCE.md.
 	flag.IntVar(&cfg.queryPar, "query-parallel", 1, "intra-query workers per query (0 = GOMAXPROCS, 1 = sequential)")
 	flag.BoolVar(&cfg.resnapshot, "resnapshot", false, "write each mutated dataset back to <data-dir>/<name>.snap (with -data-dir)")
+	mmapOn := flag.Bool("mmap", true, "serve format-v2 snapshots zero-copy via a read-only memory mapping (false = decode onto the heap)")
 	flag.BoolVar(&cfg.wal, "wal", false, "write-ahead log mutations to <data-dir>/<name>.wal and replay them over snapshots at startup (with -data-dir)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL durability: always (fsync per mutation), interval, or none")
 	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 100*time.Millisecond, "WAL flush period with -wal-sync interval")
@@ -349,6 +353,7 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
+	cfg.noMmap = !*mmapOn
 	logger := log.New(os.Stderr, "maxrankd: ", log.LstdFlags)
 
 	if err := cfg.validate(); err != nil {

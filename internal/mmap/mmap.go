@@ -1,0 +1,72 @@
+// Package mmap provides read-only memory mapping of files for the
+// zero-copy snapshot serving path. On unix platforms Open maps the file
+// with PROT_READ so the OS page cache is the buffer pool and N processes
+// serving the same snapshot share one physical copy; elsewhere it falls
+// back to reading the file into memory, preserving behaviour (every caller
+// must treat the bytes as immutable either way).
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Mapping is a read-only byte view of a file. Data stays valid until
+// Close; Close is idempotent and safe for concurrent use.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when backed by a real memory mapping
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Data returns the mapped bytes. The slice must not be modified, and must
+// not be used after Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the bytes are a true memory mapping (false on the
+// heap-read fallback).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Size returns the mapping length in bytes.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Close releases the mapping. Idempotent.
+func (m *Mapping) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if !m.mapped {
+		return nil
+	}
+	return unmap(data)
+}
+
+// Open maps path read-only. The file must be non-empty (a zero-length
+// snapshot is invalid anyway, and zero-length mappings are not portable).
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("mmap: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s is too large to map (%d bytes)", path, size)
+	}
+	return open(f, int(size))
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// open falls back to reading the whole file into memory on platforms
+// without unix mmap. Semantics are identical for callers (a read-only byte
+// view); only the sharing/cold-start benefits are lost.
+func open(f *os.File, size int) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, mapped: false}, nil
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,48 @@
+package mmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	want := bytes.Repeat([]byte("maxrank!"), 1024)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", m.Size(), len(want))
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatal("mapped bytes differ from file contents")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestOpenMissingAndEmpty(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(empty); err == nil {
+		t.Fatal("Open of an empty file succeeded")
+	}
+}

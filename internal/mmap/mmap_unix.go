@@ -1,0 +1,22 @@
+//go:build unix
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// open maps the file read-only. MAP_SHARED (not PRIVATE) so every process
+// mapping the same snapshot shares the page-cache copy.
+func open(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -19,6 +19,9 @@ const bulkFill = 0.8
 // experiment datasets. Construction I/O is not counted. Record IDs are the
 // point indices unless ids is non-nil.
 func (t *Tree) BulkLoad(points []vecmath.Point, ids []int64) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	if ids != nil && len(ids) != len(points) {
 		return fmt.Errorf("rstar: %d ids for %d points", len(ids), len(points))
 	}

@@ -20,6 +20,16 @@ import (
 // decode pages on demand. In both modes the decoded nodes are bit-identical
 // to the originals — the page encoding is exact for float64 coordinates.
 func Restore(store *pager.Store, dim int, root pager.PageID, height int, size int64, opts Options) (*Tree, error) {
+	return RestoreFrom(store, dim, root, height, size, opts)
+}
+
+// RestoreFrom is Restore over any page source. When src is a heap
+// *pager.Store the tree is writable, exactly as Restore; for any other
+// source — a pager.Mapped view over a memory-mapped v2 snapshot — the tree
+// is read-only: queries serve straight from the source (decode-on-read,
+// identical answers and I/O counts) and mutation attempts fail with a
+// typed error instead of writing through the mapping.
+func RestoreFrom(src pager.Source, dim int, root pager.PageID, height int, size int64, opts Options) (*Tree, error) {
 	if dim < 1 {
 		return nil, fmt.Errorf("rstar: dimension %d < 1", dim)
 	}
@@ -31,7 +41,7 @@ func Restore(store *pager.Store, dim int, root pager.PageID, height int, size in
 	}
 	ps := opts.PageSize
 	if ps <= 0 {
-		ps = store.PageSize()
+		ps = src.PageSize()
 	}
 	maxLeaf := MaxLeafEntries(ps, dim)
 	maxBranch := MaxBranchEntries(ps, dim)
@@ -39,7 +49,9 @@ func Restore(store *pager.Store, dim int, root pager.PageID, height int, size in
 		return nil, fmt.Errorf("rstar: page size %d too small for dim %d (fanout %d/%d)",
 			ps, dim, maxLeaf, maxBranch)
 	}
+	store, _ := src.(*pager.Store)
 	t := &Tree{
+		src:       src,
 		store:     store,
 		dim:       dim,
 		maxLeaf:   maxLeaf,
@@ -53,10 +65,10 @@ func Restore(store *pager.Store, dim int, root pager.PageID, height int, size in
 		size:      size,
 		finalized: true,
 	}
-	store.SetCounting(false)
-	defer store.SetCounting(true)
+	src.SetCounting(false)
+	defer src.SetCounting(true)
 	if opts.DirectMemory {
-		err := store.ForEachPage(func(id pager.PageID, data []byte) error {
+		err := src.ForEachPage(func(id pager.PageID, data []byte) error {
 			n, err := decodeNode(id, data)
 			if err != nil {
 				return fmt.Errorf("rstar: restore page %d: %w", id, err)

@@ -17,14 +17,22 @@ const reinsertFraction = 0.3
 // minFillFraction is the minimum node utilisation (40 %).
 const minFillFraction = 0.4
 
-// Tree is an aggregate R*-tree over points, backed by a pager.Store.
+// Tree is an aggregate R*-tree over points, backed by a pager.Source.
 //
 // During construction all nodes live in an in-memory cache; Finalize
 // serialises them to pages. Query-time node accesses go through ReadNode,
-// which always charges one page read to the store, so I/O statistics match
+// which always charges one page read to the source, so I/O statistics match
 // the paper's counting whether or not DirectMemory is enabled.
+//
+// Trees come in two flavours: writable trees are backed by a heap
+// *pager.Store (New, BulkLoad, Restore), while read-only trees serve
+// straight from any Source — typically a pager.Mapped view over an mmap'd
+// snapshot (RestoreFrom). Mutating a read-only tree fails with a typed
+// error; the mutation path (Dataset.Apply) promotes the page image into a
+// heap store first, so copy-on-write never writes through a mapping.
 type Tree struct {
-	store *pager.Store
+	src   pager.Source
+	store *pager.Store // non-nil only for writable (heap-backed) trees
 	dim   int
 
 	maxLeaf, minLeaf     int
@@ -66,6 +74,7 @@ func New(store *pager.Store, dim int, opts Options) (*Tree, error) {
 			ps, dim, maxLeaf, maxBranch)
 	}
 	t := &Tree{
+		src:       store,
 		store:     store,
 		dim:       dim,
 		maxLeaf:   maxLeaf,
@@ -93,8 +102,22 @@ func (t *Tree) Height() int { return t.height }
 // Root returns the root page ID.
 func (t *Tree) Root() pager.PageID { return t.root }
 
-// Store exposes the backing store (for I/O statistics).
+// Store exposes the backing heap store, nil for read-only (mapped) trees.
 func (t *Tree) Store() *pager.Store { return t.store }
+
+// Source exposes the backing page source (for I/O statistics).
+func (t *Tree) Source() pager.Source { return t.src }
+
+// writable guards the mutation entry points: read-only trees (RestoreFrom
+// over a mapped snapshot) have no heap store to write to. Mutation of a
+// mapped dataset goes through copy-on-write promotion instead
+// (repro.Dataset.Apply), which restores the page image into a heap store.
+func (t *Tree) writable() error {
+	if t.store == nil {
+		return fmt.Errorf("rstar: tree is read-only (serving a mapped snapshot); mutations require a heap-backed copy")
+	}
+	return nil
+}
 
 func (t *Tree) newNode(level int) *Node {
 	n := &Node{ID: t.store.Alloc(), Level: level}
@@ -119,7 +142,7 @@ func (t *Tree) ReadNode(id pager.PageID) (*Node, error) {
 }
 
 func (t *Tree) readNode(id pager.PageID, tr *pager.Tracker) (*Node, error) {
-	data, err := t.store.ReadTracked(id, tr)
+	data, err := t.src.ReadTracked(id, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +156,9 @@ func (t *Tree) readNode(id pager.PageID, tr *pager.Tracker) (*Node, error) {
 
 // Insert adds a point with the given record ID.
 func (t *Tree) Insert(p vecmath.Point, recordID int64) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	if len(p) != t.dim {
 		return fmt.Errorf("rstar: inserting %d-dim point into %d-dim tree", len(p), t.dim)
 	}
@@ -423,6 +449,9 @@ func mbrOf(entries []Entry) geom.Rect {
 // false when no such record exists. Underfull nodes are condensed by
 // re-inserting their entries, as in the classic R-tree algorithm.
 func (t *Tree) Delete(p vecmath.Point, recordID int64) (bool, error) {
+	if err := t.writable(); err != nil {
+		return false, err
+	}
 	if len(p) != t.dim {
 		return false, fmt.Errorf("rstar: deleting %d-dim point from %d-dim tree", len(p), t.dim)
 	}
@@ -520,6 +549,9 @@ func (t *Tree) condense(path []pager.PageID) {
 // does not cover the tree — remapping only part of the records would
 // corrupt the index silently.
 func (t *Tree) RemapRecordIDs(fn func(int64) int64) error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	var remapped int64
 	for _, n := range t.cache {
 		if !n.Leaf() {
@@ -552,6 +584,9 @@ func (t *Tree) SetDirectMemory(on bool) {
 // Finalize serialises every cached node to its page. Construction I/O is
 // not counted (the paper measures query-time accesses only).
 func (t *Tree) Finalize() error {
+	if err := t.writable(); err != nil {
+		return err
+	}
 	t.store.SetCounting(false)
 	defer t.store.SetCounting(true)
 	for id, n := range t.cache {

@@ -56,6 +56,25 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("MXRQSNAP"))
 	f.Add([]byte("not a snapshot at all"))
+	// v2 seeds: a valid image, its float32 sibling, and corruptions that
+	// target the v2-specific validation (directory CRC, canonical offsets).
+	validV2, err := EncodeV2(fuzzBaseSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)/2])
+	f32snap := fuzzBaseSnapshot()
+	f32snap.Float32 = true
+	Quantize32(f32snap.Points)
+	validF32, err := EncodeV2(f32snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validF32)
+	dirFlip := bytes.Clone(validV2)
+	dirFlip[len(dirFlip)-24] ^= 0x02
+	f.Add(dirFlip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
@@ -72,14 +91,24 @@ func FuzzRead(f *testing.F) {
 		if err := s.validate(); err != nil {
 			t.Fatalf("Read accepted a snapshot its own validate rejects: %v", err)
 		}
-		// ... re-encode byte-identically (the format is canonical, and the
-		// CRC pins every preceding byte) ...
+		// ... re-encode byte-identically in the version it arrived in (both
+		// formats are canonical; v1's CRC pins every preceding byte and v2
+		// admits exactly one layout per value) ...
 		var out bytes.Buffer
-		if err := Write(&out, s); err != nil {
-			t.Fatalf("Write rejected a snapshot Read produced: %v", err)
+		reenc := Write
+		if s.FormatVersion == Version2 {
+			reenc = WriteV2
+		}
+		if err := reenc(&out, s); err != nil {
+			t.Fatalf("re-encode rejected a snapshot Read produced: %v", err)
 		}
 		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatalf("re-encode diverges from accepted input (%d bytes in, %d re-encoded)", len(data), out.Len())
+		}
+		// v2 rejects trailing bytes, so the re-encode must be exact, not
+		// just a prefix.
+		if s.FormatVersion == Version2 && out.Len() != len(data) {
+			t.Fatalf("v2 re-encode length %d != input length %d", out.Len(), len(data))
 		}
 		// ... and decode back to an identical value.
 		s2, err := Read(bytes.NewReader(out.Bytes()))

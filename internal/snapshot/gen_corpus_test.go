@@ -54,6 +54,36 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 		corpus[name] = b
 	}
 
+	// v2 seeds: the same snapshot in the flat mmap-able layout, its float32
+	// sibling, and corruptions aimed at the v2-specific validators (header
+	// CRC, directory CRC, canonical offsets, trailing file CRC).
+	imgV2, err := EncodeV2(fuzzBaseSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32snap := fuzzBaseSnapshot()
+	f32snap.Float32 = true
+	Quantize32(f32snap.Points)
+	imgF32, err := EncodeV2(f32snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["v2-valid"] = imgV2
+	corpus["v2-f32-valid"] = imgF32
+	corpus["v2-trunc-header"] = imgV2[:60]
+	corpus["v2-trunc-points"] = imgV2[:int(imgV2[56])+8] // inside the points section
+	corpus["v2-trunc-trailer"] = imgV2[:len(imgV2)-2]
+	for name, off := range map[string]int{
+		"v2-flip-flags":     12,
+		"v2-flip-pointsoff": 56,
+		"v2-flip-dir":       len(imgV2) - 24,
+		"v2-flip-crc":       len(imgV2) - 1,
+	} {
+		b := bytes.Clone(imgV2)
+		b[off] ^= 0x01
+		corpus[name] = b
+	}
+
 	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)

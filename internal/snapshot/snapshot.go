@@ -6,10 +6,14 @@
 // assumes the indexes already exist on secondary storage; this package is
 // that storage format.
 //
-// Layout (all integers little-endian):
+// Two format versions exist: v1, the sequential stream documented below,
+// and v2 (see v2.go), a flat offset-addressed layout that doubles as the
+// runtime format — it can be memory-mapped and served zero-copy.
+//
+// Version 1 layout (all integers little-endian):
 //
 //	magic          8 bytes  "MXRQSNAP"
-//	version        uint32   format version (currently 1)
+//	version        uint32   format version (1)
 //	flags          uint32   reserved, must be 0
 //	dim            uint32   record dimensionality
 //	count          uint64   record count
@@ -50,8 +54,16 @@ import (
 // Magic identifies a MaxRank snapshot file.
 const Magic = "MXRQSNAP"
 
-// Version is the current format version written by Write.
-const Version = 1
+// Format versions. Version1 is the original sequential stream documented
+// above; Version2 (v2.go) is the flat, offset-addressed layout that can be
+// memory-mapped and served without decoding. Write emits Version1 and
+// WriteV2 emits Version2; Read decodes both.
+const (
+	Version1 = 1
+	Version2 = 2
+	// Version is the newest format version this build reads.
+	Version = Version2
+)
 
 // Typed failure modes of Read. Every decode failure wraps exactly one of
 // these (and all of them wrap ErrInvalid), so callers can branch with
@@ -97,9 +109,13 @@ type Page struct {
 
 // Snapshot is the in-memory form of one persisted index.
 type Snapshot struct {
-	// FormatVersion is the version read from (or to be written to) the
-	// stream; Write always emits the current Version.
+	// FormatVersion is the version read from the stream (Write always
+	// emits Version1, WriteV2 always Version2).
 	FormatVersion uint32
+	// Float32 marks a v2 snapshot whose points are stored as float32
+	// (FlagFloat32). Read sets it; WriteV2 honours it. The materialized
+	// Points are always float64 — every float32 converts exactly.
+	Float32 bool
 	// Fingerprint is the dataset content digest (repro.Dataset.Fingerprint)
 	// recorded at write time; loaders verify it against the points.
 	Fingerprint string
@@ -186,13 +202,16 @@ func Write(w io.Writer, s *Snapshot) error {
 	if err := s.validate(); err != nil {
 		return err
 	}
+	if s.Float32 {
+		return fmt.Errorf("snapshot: float32 points require format v2 (WriteV2)")
+	}
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw, sum: crc32.New(castagnoli)}
 	if _, err := cw.Write([]byte(Magic)); err != nil {
 		return err
 	}
 	if err := writeInts(cw,
-		uint64(Version), 4,
+		uint64(Version1), 4,
 		0, 4, // flags
 		uint64(s.Dim), 4,
 		uint64(s.Count), 8,
@@ -296,6 +315,11 @@ func Read(r io.Reader) (*Snapshot, error) {
 	}
 	if version == 0 || version > Version {
 		return nil, fmt.Errorf("%w: %d (this build reads up to %d)", ErrVersion, version, Version)
+	}
+	if version == Version2 {
+		// v2 is offset-addressed, not sequential: drain the stream and
+		// decode the image as a whole.
+		return readV2(rd.r)
 	}
 	flags, err := rd.uint(4)
 	if err != nil {

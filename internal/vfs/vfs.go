@@ -114,15 +114,16 @@ var ErrCrashed = errors.New("vfs: simulated crash")
 // path; Op selects the operation; After skips that many matching calls
 // before firing. A fault fires once unless Sticky.
 type Fault struct {
-	// Op is the operation to fail: "open", "write", "sync", "close",
-	// "truncate", "rename", "remove", "chmod", "stat".
+	// Op is the operation to fail: "open", "read", "write", "sync",
+	// "close", "truncate", "rename", "remove", "chmod", "stat".
 	Op string
 	// Path fires only on paths containing this substring ("" = any).
 	Path string
 	// After skips the first After matching calls.
 	After int
-	// AllowBytes, for write faults, is how many of the attempted bytes
-	// are applied before the error — a short write, as ENOSPC produces.
+	// AllowBytes, for read and write faults, is how many of the attempted
+	// bytes are applied before the error — a short write (as ENOSPC
+	// produces) or a short read (as a truncated device produces).
 	AllowBytes int
 	// Err is the error to return (e.g. syscall.EIO, syscall.ENOSPC).
 	Err error
@@ -325,7 +326,31 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func (ff *faultFile) Read(p []byte) (int, error) { return ff.inner.Read(p) }
+// Read consults scripted "read" faults (with AllowBytes short-read
+// semantics). It deliberately ignores the crash state: a crash models
+// process death during writes, and recovery-time reads happen in the
+// "restarted" process.
+func (ff *faultFile) Read(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	allow := len(p)
+	var ferr error
+	if flt := ff.fs.match("read", ff.name); flt != nil {
+		if flt.AllowBytes < allow {
+			allow = flt.AllowBytes
+		}
+		ferr = flt.Err
+	}
+	ff.fs.mu.Unlock()
+	var n int
+	var rerr error
+	if allow > 0 {
+		n, rerr = ff.inner.Read(p[:allow])
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, rerr
+}
 
 func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
 	return ff.inner.Seek(offset, whence)

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/mmap"
 	"repro/internal/pager"
 	"repro/internal/rstar"
 	"repro/internal/snapshot"
@@ -46,7 +47,10 @@ import (
 type Dataset struct {
 	points []vecmath.Point
 	tree   *rstar.Tree
-	store  *pager.Store
+	// src is the page source serving the index: a heap *pager.Store for
+	// built or stream-loaded datasets, a read-only pager.Mapped view for
+	// datasets served straight from a memory-mapped v2 snapshot.
+	src pager.Source
 
 	// quadMaxPartial and quadMaxDepth are the dataset's default quad-tree
 	// partitioning parameters (0 = library default). Per-query WithQuadTree
@@ -61,6 +65,22 @@ type Dataset struct {
 	directMemory bool
 	pageLatency  time.Duration
 
+	// snapVersion and snapF32 record the snapshot format the dataset was
+	// loaded from (0 = built in process), so write-back — WriteSnapshotFile,
+	// maxrankd -resnapshot — preserves the operator's format choice.
+	// Mutation successors inherit snapVersion but drop the float32 flag:
+	// re-quantizing freshly inserted full-precision points on every
+	// re-snapshot would silently drift the serving fingerprint.
+	snapVersion int
+	snapF32     bool
+
+	// mapping owns the mmap backing when the dataset serves zero-copy from
+	// a v2 snapshot (nil otherwise); points and pages alias it, so it must
+	// outlive the dataset. pointsAliased records whether points alias the
+	// mapping (false for float32 snapshots, whose points materialize).
+	mapping       *mmap.Mapping
+	pointsAliased bool
+
 	fpOnce sync.Once
 	fp     string
 }
@@ -72,6 +92,7 @@ type datasetConfig struct {
 	pageSize       int
 	directMemory   bool
 	insertBuild    bool
+	noMmap         bool
 	pageLatency    time.Duration
 	quadMaxPartial int
 	quadMaxDepth   int
@@ -102,6 +123,14 @@ func WithInsertBuild(on bool) DatasetOption {
 // simulated I/O time.
 func WithPageLatency(d time.Duration) DatasetOption {
 	return func(c *datasetConfig) { c.pageLatency = d }
+}
+
+// WithMmap controls whether LoadSnapshotFile serves a v2 snapshot directly
+// from a read-only memory mapping (the default) or decodes it onto the
+// heap like a v1 snapshot. It has no effect on v1 snapshots, which are not
+// mappable, or on LoadSnapshot, which reads a stream.
+func WithMmap(on bool) DatasetOption {
+	return func(c *datasetConfig) { c.noMmap = !on }
 }
 
 // WithQuadDefaults sets the dataset's default quad-tree partitioning: the
@@ -191,7 +220,7 @@ func buildDataset(pts []vecmath.Point, cfg datasetConfig) (*Dataset, error) {
 	return &Dataset{
 		points:         pts,
 		tree:           tree,
-		store:          store,
+		src:            store,
 		quadMaxPartial: cfg.quadMaxPartial,
 		quadMaxDepth:   cfg.quadMaxDepth,
 		directMemory:   cfg.directMemory,
@@ -232,10 +261,77 @@ func (ds *Dataset) Point(i int) ([]float64, error) {
 }
 
 // IOReads returns the page reads accumulated since the last reset.
-func (ds *Dataset) IOReads() int64 { return ds.store.Stats().Reads }
+func (ds *Dataset) IOReads() int64 { return ds.src.Stats().Reads }
 
 // ResetIO zeroes the page-access counters.
-func (ds *Dataset) ResetIO() { ds.store.ResetStats() }
+func (ds *Dataset) ResetIO() { ds.src.ResetStats() }
+
+// Close releases the memory mapping of an mmap-served dataset (idempotent,
+// nil-safe in effect: heap datasets have nothing to release). The dataset
+// — and every dataset still aliasing the mapping — must not be used
+// afterwards. Long-running servers deliberately never call Close on a
+// dataset that may still have in-flight readers; the mapping is reclaimed
+// by the OS at process exit.
+func (ds *Dataset) Close() error {
+	if ds.mapping == nil {
+		return nil
+	}
+	return ds.mapping.Close()
+}
+
+// StorageMode names how a dataset's index image is held.
+const (
+	// StorageHeap marks an index decoded into process memory.
+	StorageHeap = "heap"
+	// StorageMmap marks an index served zero-copy from a read-only memory
+	// mapping of a v2 snapshot.
+	StorageMmap = "mmap"
+)
+
+// StorageStats describes how a dataset holds its records and index image —
+// the memory-observability block surfaced by /v1/stats and expvar.
+type StorageStats struct {
+	// Mode is StorageHeap or StorageMmap.
+	Mode string `json:"mode"`
+	// SnapshotVersion is the snapshot format the dataset was loaded from
+	// (0 = built in process; write-back preserves a non-zero version).
+	SnapshotVersion int `json:"snapshot_version,omitempty"`
+	// Float32 marks a dataset loaded from a float32-point snapshot.
+	Float32 bool `json:"float32,omitempty"`
+	// MappedBytes is the size of the memory-mapped snapshot image (0 for
+	// heap datasets).
+	MappedBytes int64 `json:"mapped_bytes"`
+	// HeapBytes approximates the heap footprint of the records and index
+	// pages: page payloads plus point values, excluding per-object
+	// overhead. For mmap datasets only materialized parts count (the
+	// float64 values of a float32 snapshot; zero when points alias the
+	// mapping).
+	HeapBytes int64 `json:"heap_bytes"`
+}
+
+// Storage reports the dataset's storage mode and footprint.
+func (ds *Dataset) Storage() StorageStats {
+	st := StorageStats{
+		Mode:            StorageHeap,
+		SnapshotVersion: ds.snapVersion,
+		Float32:         ds.snapF32,
+	}
+	pointBytes := int64(len(ds.points)) * int64(ds.Dim()) * 8
+	if ds.mapping != nil {
+		st.Mode = StorageMmap
+		st.MappedBytes = ds.mapping.Size()
+		if !ds.pointsAliased {
+			st.HeapBytes = pointBytes
+		}
+		return st
+	}
+	st.HeapBytes = pointBytes
+	ds.src.ForEachPage(func(id pager.PageID, data []byte) error {
+		st.HeapBytes += int64(len(data))
+		return nil
+	})
+	return st
+}
 
 // Fingerprint returns a stable hex digest of the dataset content (the
 // record values, in order, plus the dimensionality). Two datasets with the

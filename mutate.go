@@ -108,11 +108,14 @@ func (ds *Dataset) applyOps(ctx context.Context, ops []Op) (*Dataset, error) {
 		return nil, fmt.Errorf("repro: mutation batch would empty the dataset: %w", ErrBadQuery)
 	}
 
-	// Copy the index image into a fresh store: the original keeps serving
-	// unperturbed while the copy is mutated. Page IDs are preserved, so
-	// the restored tree is structurally the same index.
-	store := pager.NewStore(ds.store.PageSize())
-	err := ds.store.ForEachPage(func(id pager.PageID, data []byte) error {
+	// Copy the index image into a fresh heap store: the original keeps
+	// serving unperturbed while the copy is mutated. Page IDs are
+	// preserved, so the restored tree is structurally the same index. For
+	// an mmap-served parent this copy IS the copy-on-write promotion —
+	// mutation never writes through the mapping (pager.Mapped has no write
+	// path at all), it materializes a writable image and edits that.
+	store := pager.NewStore(ds.src.PageSize())
+	err := ds.src.ForEachPage(func(id pager.PageID, data []byte) error {
 		if data == nil {
 			return fmt.Errorf("repro: page %d allocated but never written (index not finalized?)", id)
 		}
@@ -156,8 +159,17 @@ func (ds *Dataset) applyOps(ctx context.Context, ops []Op) (*Dataset, error) {
 	// match, so the successor is indistinguishable — record numbering
 	// included — from a dataset freshly built over the same sequence.
 	pts := make([]vecmath.Point, 0, n-len(deleted)+len(inserts))
+	// Survivor rows of an mmap-served parent alias the mapping; the
+	// successor owns no mapping, so it must deep-copy them — otherwise
+	// closing the parent would unmap memory the successor still points at.
+	survivor := func(p vecmath.Point) vecmath.Point { return p }
+	if ds.pointsAliased {
+		survivor = vecmath.Point.Clone
+	}
 	if len(deleted) == 0 {
-		pts = append(pts, ds.points...)
+		for _, p := range ds.points {
+			pts = append(pts, survivor(p))
+		}
 	} else {
 		newID := make([]int64, n)
 		for i, p := range ds.points {
@@ -166,7 +178,7 @@ func (ds *Dataset) applyOps(ctx context.Context, ops []Op) (*Dataset, error) {
 				continue
 			}
 			newID[i] = int64(len(pts))
-			pts = append(pts, p)
+			pts = append(pts, survivor(p))
 		}
 		if err := tree.RemapRecordIDs(func(old int64) int64 { return newID[old] }); err != nil {
 			return nil, err
@@ -192,14 +204,20 @@ func (ds *Dataset) applyOps(ctx context.Context, ops []Op) (*Dataset, error) {
 	}
 	store.ResetStats()
 	store.SetLatency(ds.pageLatency)
+	// The successor is always heap-backed (see the copy above) but keeps
+	// the parent's snapshot format so write-behind re-snapshots don't
+	// silently change version. It drops float32 mode: the freshly inserted
+	// points are exact float64, and re-quantizing them on the next write
+	// would drift the fingerprint from the in-memory dataset.
 	return &Dataset{
 		points:         pts,
 		tree:           tree,
-		store:          store,
+		src:            store,
 		quadMaxPartial: ds.quadMaxPartial,
 		quadMaxDepth:   ds.quadMaxDepth,
 		directMemory:   ds.directMemory,
 		pageLatency:    ds.pageLatency,
+		snapVersion:    ds.snapVersion,
 	}, nil
 }
 

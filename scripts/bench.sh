@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — run the paper-figure benchmarks plus the hot-path micro
-# benchmarks and emit a machine-readable BENCH_PR7.json: ns/op, B/op and
+# benchmarks and emit a machine-readable BENCH_PR10.json: ns/op, B/op and
 # allocs/op per benchmark, the intra-query parallel speedup
-# (BenchmarkQueryParallelism workers=1 vs the largest worker count), and
-# the batch-sharing speedup (BenchmarkBatchSharing fca_d2_disk share=false
-# vs share=true).
+# (BenchmarkQueryParallelism workers=1 vs the largest worker count), the
+# batch-sharing speedup (BenchmarkBatchSharing fca_d2_disk share=false vs
+# share=true), and the snapshot cold-start speedup (BenchmarkColdStart
+# v1_decode vs v2_mmap at the large scenario).
 #
 # Usage:
 #   scripts/bench.sh [out.json]
@@ -42,15 +43,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-5x}
 BENCH_COUNT=${BENCH_COUNT:-3}
 MICRO_BENCHTIME=${MICRO_BENCHTIME:-5000x}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-echo "running root benchmarks (Fig8, Fig9, QueryParallelism, BatchSharing, Apply; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
-go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism|^BenchmarkBatchSharing$|^BenchmarkApply$' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
+echo "running root benchmarks (Fig8, Fig9, QueryParallelism, BatchSharing, Apply, ColdStart; benchtime=$BENCHTIME, count=$BENCH_COUNT, min kept)..." >&2
+go test -run '^$' -bench 'Fig8|Fig9|QueryParallelism|^BenchmarkBatchSharing$|^BenchmarkApply$|^BenchmarkColdStart$' -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" . >>"$TMP"
 echo "running LP micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
 go test -run '^$' -bench 'LPSolve' -benchmem -benchtime "$MICRO_BENCHTIME" -count 1 ./internal/lp >>"$TMP"
 echo "running cell-enumeration micro-benchmarks (benchtime=$MICRO_BENCHTIME)..." >&2
@@ -111,6 +112,11 @@ END {
     if (soff != "" && son != "" && son + 0 > 0) {
         printf "  \"batch_sharing_speedup\": {\"scenario\": \"fca_d2_disk\", \"independent_ns_per_op\": %s, \"shared_ns_per_op\": %s, \"speedup\": %.2f},\n", soff, son, soff / son
     }
+    cv1 = nsof["BenchmarkColdStart/v1_decode/n100000_d4"]
+    cv2 = nsof["BenchmarkColdStart/v2_mmap/n100000_d4"]
+    if (cv1 != "" && cv2 != "" && cv2 + 0 > 0) {
+        printf "  \"cold_start\": {\"scenario\": \"n100000_d4\", \"v1_decode_ns_per_op\": %s, \"v2_mmap_ns_per_op\": %s, \"speedup\": %.2f},\n", cv1, cv2, cv1 / cv2
+    }
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -146,6 +152,26 @@ if [ "$GOMAXPROCS" -ge 4 ] && awk 'BEGIN { exit !('"$MIN_SPEEDUP"' > 0) }'; then
     echo "parallel speedup $SPEEDUP >= $MIN_SPEEDUP (GOMAXPROCS=$GOMAXPROCS): OK" >&2
 else
     echo "note: speedup gate skipped (GOMAXPROCS=$GOMAXPROCS < 4 or MIN_SPEEDUP=0)" >&2
+fi
+
+# PR 10 acceptance gate: v2 mmap cold start must be >= 10x faster than v1
+# decode at equal content. Pure work elimination (validate instead of
+# decode), so the bar applies at any core count. Set
+# MIN_COLDSTART_SPEEDUP=0 to disable.
+MIN_COLDSTART_SPEEDUP=${MIN_COLDSTART_SPEEDUP:-10}
+if awk 'BEGIN { exit !('"$MIN_COLDSTART_SPEEDUP"' > 0) }'; then
+    COLD=$(awk -F'"speedup": ' '/cold_start/ { split($2, a, "}"); print a[1] }' "$OUT")
+    if [ -z "$COLD" ]; then
+        echo "FAIL: no cold_start recorded in $OUT" >&2
+        exit 1
+    fi
+    if awk 'BEGIN { exit !('"$COLD"' < '"$MIN_COLDSTART_SPEEDUP"') }'; then
+        echo "FAIL: v2 mmap cold-start speedup $COLD < $MIN_COLDSTART_SPEEDUP over v1 decode" >&2
+        exit 1
+    fi
+    echo "cold-start speedup $COLD >= $MIN_COLDSTART_SPEEDUP: OK" >&2
+else
+    echo "note: cold-start gate skipped (MIN_COLDSTART_SPEEDUP=0)" >&2
 fi
 
 # PR 6 acceptance gate: batch sharing is work reduction, not parallelism,

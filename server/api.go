@@ -116,6 +116,10 @@ type DatasetEntry struct {
 	// WAL reports the dataset's write-ahead-log extent; absent when the
 	// server runs without WithMutationLog or the dataset has no log yet.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Storage reports how the dataset's records and index are held: heap
+	// (decoded into process memory) or mmap (served zero-copy from a
+	// read-only mapping of a v2 snapshot), with the footprint of each.
+	Storage repro.StorageStats `json:"storage"`
 }
 
 // WALStats is a dataset's write-ahead-log slice of GET /v1/stats.
@@ -369,6 +373,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Admission: s.admissionStats(name),
 			CostModel: s.costStats(name),
 			WAL:       s.walStats(name),
+			Storage:   ds.Storage(),
 		}
 	})
 	// The legacy mirror fields reuse the per-dataset entry captured above,

@@ -484,6 +484,25 @@ func publishExpvar(s *Server) {
 		}
 		m.Set("wal_records", counter(walSum(func(st MutationLogStats) int64 { return st.Records })))
 		m.Set("wal_bytes", counter(walSum(func(st MutationLogStats) int64 { return st.Bytes })))
+		// Storage footprint, summed across datasets: how much of the
+		// serving state is zero-copy mapped file versus process heap.
+		storageSum := func(get func(repro.StorageStats) int64) func(*Server) int64 {
+			return func(t *Server) int64 {
+				var total int64
+				t.reg.forEach(func(_ string, eng *repro.Engine, _ uint64, _ repro.EngineStats) {
+					total += get(eng.Dataset().Storage())
+				})
+				return total
+			}
+		}
+		m.Set("mapped_bytes", counter(storageSum(func(st repro.StorageStats) int64 { return st.MappedBytes })))
+		m.Set("heap_bytes", counter(storageSum(func(st repro.StorageStats) int64 { return st.HeapBytes })))
+		m.Set("datasets_mmap", counter(storageSum(func(st repro.StorageStats) int64 {
+			if st.Mode == repro.StorageMmap {
+				return 1
+			}
+			return 0
+		})))
 		expvar.Publish("maxrank", m)
 	})
 }

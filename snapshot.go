@@ -1,14 +1,22 @@
 package repro
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/mmap"
 	"repro/internal/pager"
 	"repro/internal/rstar"
 	"repro/internal/snapshot"
+	"repro/internal/vecmath"
 	"repro/internal/vfs"
 )
 
@@ -20,21 +28,76 @@ import (
 // bit-identical query results — regions, ranks, witnesses and Stats.IO —
 // to this one.
 //
+// The format written preserves provenance: a dataset loaded from a v2
+// (mmap-able) snapshot writes v2 again, so maxrankd's -resnapshot
+// write-behind keeps the operator's format choice; datasets built in
+// process write v1, the default interchange format. Use
+// WriteSnapshotVersion to choose explicitly.
+//
 // The stream is deterministic: the same dataset writes byte-identical
 // snapshots. The dataset must not be mutated concurrently.
 func (ds *Dataset) WriteSnapshot(w io.Writer) error {
+	v := ds.snapVersion
+	if v == 0 {
+		v = snapshot.Version1
+	}
+	return ds.WriteSnapshotVersion(w, v, ds.snapF32)
+}
+
+// WriteSnapshotVersion persists the dataset in an explicit snapshot format
+// version (snapshot.Version1 or snapshot.Version2). float32Points — valid
+// only with version 2 — stores the points as float32, halving the file and
+// the serving working set; the points are quantized to the nearest float32
+// and the recorded fingerprint is recomputed over the quantized values, so
+// the file is self-consistent and loads bit-exactly against itself. The
+// quantization is the lossy step: a dataset reloaded from a float32
+// snapshot answers queries over coordinates within 1 ULP of float32
+// (relative error ≤ 2⁻²⁴) of the originals, and its fingerprint differs
+// from the exact dataset's unless the points were float32-exact already.
+func (ds *Dataset) WriteSnapshotVersion(w io.Writer, version int, float32Points bool) error {
+	switch version {
+	case snapshot.Version1:
+		if float32Points {
+			return fmt.Errorf("repro: float32 points require snapshot format %d", snapshot.Version2)
+		}
+		snap, err := ds.buildSnapshotValue(false)
+		if err != nil {
+			return err
+		}
+		return snapshot.Write(w, snap)
+	case snapshot.Version2:
+		snap, err := ds.buildSnapshotValue(float32Points)
+		if err != nil {
+			return err
+		}
+		return snapshot.WriteV2(w, snap)
+	default:
+		return fmt.Errorf("repro: unknown snapshot format version %d", version)
+	}
+}
+
+// buildSnapshotValue assembles the snapshot value for this dataset. With
+// float32Points the point array is quantized and the fingerprint is
+// recomputed over the quantized values (see WriteSnapshotVersion).
+func (ds *Dataset) buildSnapshotValue(float32Points bool) (*snapshot.Snapshot, error) {
+	flat := dataset.Flatten(ds.points)
+	fp := ds.Fingerprint()
+	if float32Points && snapshot.Quantize32(flat) > 0 {
+		fp = fingerprintFlat(ds.Dim(), flat)
+	}
 	snap := &snapshot.Snapshot{
-		Fingerprint:    ds.Fingerprint(),
+		Float32:        float32Points,
+		Fingerprint:    fp,
 		Dim:            ds.Dim(),
 		Count:          ds.Len(),
-		PageSize:       ds.store.PageSize(),
+		PageSize:       ds.src.PageSize(),
 		QuadMaxPartial: ds.quadMaxPartial,
 		QuadMaxDepth:   ds.quadMaxDepth,
 		Root:           int64(ds.tree.Root()),
 		Height:         ds.tree.Height(),
-		Points:         dataset.Flatten(ds.points),
+		Points:         flat,
 	}
-	err := ds.store.ForEachPage(func(id pager.PageID, data []byte) error {
+	err := ds.src.ForEachPage(func(id pager.PageID, data []byte) error {
 		if data == nil {
 			return fmt.Errorf("repro: page %d allocated but never written (index not finalized?)", id)
 		}
@@ -42,9 +105,24 @@ func (ds *Dataset) WriteSnapshot(w io.Writer) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return snapshot.Write(w, snap)
+	return snap, nil
+}
+
+// fingerprintFlat is fingerprintPoints over an already-flattened
+// row-major point array (the snapshot write path, which quantizes the
+// flat copy in place for float32 output).
+func fingerprintFlat(dim int, flat []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(dim))
+	h.Write(buf[:])
+	for _, v := range flat {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Snapshot persists the engine's dataset and index; see
@@ -57,7 +135,9 @@ func (e *Engine) Snapshot(w io.Writer) error { return e.ds.WriteSnapshot(w) }
 // are installed verbatim and the tree metadata is taken from the snapshot,
 // so cold start costs one sequential read instead of a bulk load. The
 // restored dataset is query-equivalent to the one that was persisted —
-// results, including Stats.IO, are bit-identical.
+// results, including Stats.IO, are bit-identical. Both format versions
+// decode; the reader-based path always materializes onto the heap (use
+// LoadSnapshotFile for zero-copy mmap serving of v2 files).
 //
 // Options apply as in NewDataset with two exceptions: the page size and
 // the quad-tree defaults come from the snapshot, so WithPageSize and
@@ -70,13 +150,17 @@ func (e *Engine) Snapshot(w io.Writer) error { return e.ds.WriteSnapshot(w) }
 // truncation, future version, checksum mismatch); a snapshot whose points
 // do not hash to its recorded fingerprint fails with ErrSnapshotMismatch.
 func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
-	snap, err := snapshot.Read(r)
-	if err != nil {
-		return nil, err
-	}
 	cfg := datasetConfig{directMemory: true}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	return loadSnapshotReader(r, cfg)
+}
+
+func loadSnapshotReader(r io.Reader, cfg datasetConfig) (*Dataset, error) {
+	snap, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
 	}
 	pts, err := dataset.Unflatten(snap.Points, snap.Dim)
 	if err != nil {
@@ -119,11 +203,166 @@ func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
 	return &Dataset{
 		points:         pts,
 		tree:           tree,
-		store:          store,
+		src:            store,
 		quadMaxPartial: snap.QuadMaxPartial,
 		quadMaxDepth:   snap.QuadMaxDepth,
 		directMemory:   cfg.directMemory,
 		pageLatency:    cfg.pageLatency,
+		snapVersion:    int(snap.FormatVersion),
+		snapF32:        snap.Float32,
+	}, nil
+}
+
+// LoadSnapshotFile restores a dataset from a snapshot file. Format v2
+// files are memory-mapped read-only and served zero-copy by default: the
+// points array and the index pages alias the mapping, so cold start costs
+// header/directory/points validation instead of a full decode, the OS page
+// cache is the buffer pool (datasets larger than RAM serve fine), and N
+// processes serving the same file share one physical copy. Query answers —
+// regions, ranks, witnesses and Stats.IO — are bit-identical to a
+// heap-decoded load of the same file.
+//
+// WithMmap(false) forces the heap decode path; v1 files always decode onto
+// the heap (their layout is sequential, not mappable). In mmap mode the
+// index always decodes nodes on demand from the mapping — WithDirectMemory
+// is ignored — and mutation (Dataset.Apply) promotes the image into heap
+// pages, never writing through the mapping.
+//
+// The mapping is released by Dataset.Close or at process exit.
+func LoadSnapshotFile(path string, opts ...DatasetOption) (*Dataset, error) {
+	cfg := datasetConfig{directMemory: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.noMmap {
+		if ver, err := sniffSnapshotVersion(path); err == nil && ver == snapshot.Version2 {
+			m, err := mmap.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := datasetFromV2(m.Data(), m, cfg)
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+			return ds, nil
+		}
+		// On a sniff failure fall through to the stream decoder, whose
+		// errors are the typed ErrInvalid family.
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return loadSnapshotReader(f, cfg)
+}
+
+// loadSnapshotFileVFS is LoadSnapshotFile over an injectable filesystem,
+// for fault testing: the file is read through fsys (every read a scripted
+// failure point) and a v2 image is served through the same zero-copy
+// validation and page-directory path as a real mapping, just over heap
+// bytes.
+func loadSnapshotFileVFS(fsys vfs.FS, path string, opts ...DatasetOption) (*Dataset, error) {
+	cfg := datasetConfig{directMemory: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", snapshot.ErrInvalid, err)
+	}
+	if !cfg.noMmap && len(data) >= 12 && string(data[:8]) == snapshot.Magic &&
+		binary.LittleEndian.Uint32(data[8:]) == snapshot.Version2 {
+		return datasetFromV2(data, nil, cfg)
+	}
+	return loadSnapshotReader(bytes.NewReader(data), cfg)
+}
+
+// sniffSnapshotVersion reads just the magic and version word of a
+// snapshot file.
+func sniffSnapshotVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, err
+	}
+	if string(hdr[:8]) != snapshot.Magic {
+		return 0, snapshot.ErrBadMagic
+	}
+	return int(binary.LittleEndian.Uint32(hdr[8:])), nil
+}
+
+// datasetFromV2 builds a dataset serving directly from a validated v2
+// image. m owns the backing mapping (nil when the image is heap bytes —
+// the vfs fault path and non-unix fallbacks). The points become row
+// sub-slices of the image's flat array (zero-copy for float64 images;
+// float32 images materialize exactly), and the index pages are served
+// through a read-only pager.Mapped source, so nothing is decoded up front
+// and nothing can write back into the image.
+//
+// Unlike the stream loader, this fast path does not re-derive the dataset
+// fingerprint: the recorded value is covered by the header CRC and the
+// points by their own CRC, so against *corruption* the recorded
+// fingerprint is exactly as trustworthy as a recomputation — and skipping
+// the content hash keeps cold start proportional to validation, not to
+// hashing the whole point array. (It is seeded into the dataset's lazy
+// fingerprint cache, so Fingerprint() is O(1) on mapped datasets.) A
+// deliberately forged file pairing valid CRCs with a mismatched
+// fingerprint is caught by the full decode — LoadSnapshotFile(...,
+// WithMmap(false)) — which is what migrate-snapshot runs.
+func datasetFromV2(data []byte, m *mmap.Mapping, cfg datasetConfig) (*Dataset, error) {
+	v, err := snapshot.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	flat := v.Points()
+	pts := make([]vecmath.Point, v.Count)
+	for i := range pts {
+		pts[i] = vecmath.Point(flat[i*v.Dim : (i+1)*v.Dim : (i+1)*v.Dim])
+	}
+	// Finiteness gate, exactly as the stream loader: the v2 format allows
+	// any float64 bit pattern, but query answers must never see NaN/Inf.
+	if err := checkFinite(pts); err != nil {
+		return nil, err
+	}
+	pages := make([]pager.MappedPage, v.NumPages())
+	for i := range pages {
+		id, pd := v.Page(i)
+		pages[i] = pager.MappedPage{ID: pager.PageID(id), Data: pd}
+	}
+	src, err := pager.NewMapped(v.PageSize, pages)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rstar.RestoreFrom(src, v.Dim, pager.PageID(v.Root), v.Height, int64(v.Count), rstar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	src.ResetStats()
+	src.SetLatency(cfg.pageLatency)
+	return &Dataset{
+		points:         pts,
+		tree:           tree,
+		src:            src,
+		fp:             v.Fingerprint,
+		quadMaxPartial: v.QuadMaxPartial,
+		quadMaxDepth:   v.QuadMaxDepth,
+		directMemory:   false,
+		pageLatency:    cfg.pageLatency,
+		snapVersion:    snapshot.Version2,
+		snapF32:        v.Float32,
+		mapping:        m,
+		pointsAliased:  v.PointsZeroCopy(),
 	}, nil
 }
 
@@ -134,23 +373,34 @@ func LoadSnapshot(r io.Reader, opts ...DatasetOption) (*Dataset, error) {
 // fsynced too — so a crash mid-write never leaves a half-snapshot under
 // the target name, and a completed write survives power loss, not just
 // process death. It is the write path of maxrank build-snapshot and of
-// maxrankd's -resnapshot write-behind.
+// maxrankd's -resnapshot write-behind. The format version is preserved as
+// in WriteSnapshot; WriteSnapshotFileVersion chooses explicitly.
 func (ds *Dataset) WriteSnapshotFile(path string) error {
-	return ds.writeSnapshotFile(vfs.OS(), path)
+	v := ds.snapVersion
+	if v == 0 {
+		v = snapshot.Version1
+	}
+	return ds.writeSnapshotFile(vfs.OS(), path, v, ds.snapF32)
 }
 
-// writeSnapshotFile is WriteSnapshotFile over an injectable filesystem,
-// so every failure point (temp creation, short write, fsync, rename) is
-// provable via vfs.FaultFS. Any failure leaves whatever previously
-// existed at path untouched.
-func (ds *Dataset) writeSnapshotFile(fsys vfs.FS, path string) error {
+// WriteSnapshotFileVersion is WriteSnapshotFile with an explicit format
+// version and float32 mode (see WriteSnapshotVersion).
+func (ds *Dataset) WriteSnapshotFileVersion(path string, version int, float32Points bool) error {
+	return ds.writeSnapshotFile(vfs.OS(), path, version, float32Points)
+}
+
+// writeSnapshotFile is the atomic-write core over an injectable
+// filesystem, so every failure point (temp creation, short write, fsync,
+// rename) is provable via vfs.FaultFS. Any failure leaves whatever
+// previously existed at path untouched.
+func (ds *Dataset) writeSnapshotFile(fsys vfs.FS, path string, version int, float32Points bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := vfs.CreateTemp(fsys, dir, ".snap-*")
 	if err != nil {
 		return err
 	}
 	defer fsys.Remove(tmp.Name())
-	if err := ds.WriteSnapshot(tmp); err != nil {
+	if err := ds.WriteSnapshotVersion(tmp, version, float32Points); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -1,0 +1,168 @@
+package repro
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/vfs"
+)
+
+// writeV2Fixture builds a small dataset and persists it as a v2 snapshot,
+// returning the path and the file bytes.
+func writeV2Fixture(t *testing.T) (string, []byte) {
+	t.Helper()
+	ds, err := GenerateDataset("IND", 200, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.snap")
+	if err := ds.WriteSnapshotFileVersion(path, snapshot.Version2, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestLoadSnapshotFileReadFaults: I/O errors and short reads while loading
+// a v2 snapshot surface as typed errors — never a crash, never a
+// half-initialized dataset.
+func TestLoadSnapshotFileReadFaults(t *testing.T) {
+	path, data := writeV2Fixture(t)
+
+	t.Run("io error mid-read", func(t *testing.T) {
+		ffs := vfs.NewFaultFS(vfs.OS())
+		ffs.Inject(vfs.Fault{Op: "read", Path: "ds.snap", AllowBytes: 64, Err: syscall.EIO})
+		if _, err := loadSnapshotFileVFS(ffs, path); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("got %v, want EIO", err)
+		}
+	})
+	t.Run("silent short read", func(t *testing.T) {
+		// A device that delivers half the file and then reports a clean
+		// EOF — no error to propagate, so the loader must detect the
+		// truncation itself.
+		ffs := vfs.NewFaultFS(vfs.OS())
+		ffs.Inject(vfs.Fault{Op: "read", Path: "ds.snap", AllowBytes: len(data) / 2})
+		ffs.Inject(vfs.Fault{Op: "read", Path: "ds.snap", AllowBytes: 0, Sticky: true, Err: io.EOF})
+		_, err := loadSnapshotFileVFS(ffs, path)
+		if !errors.Is(err, snapshot.ErrInvalid) {
+			t.Fatalf("got %v, want a typed snapshot error", err)
+		}
+	})
+	t.Run("open denied", func(t *testing.T) {
+		ffs := vfs.NewFaultFS(vfs.OS())
+		ffs.Inject(vfs.Fault{Op: "open", Path: "ds.snap", Err: syscall.EACCES})
+		if _, err := loadSnapshotFileVFS(ffs, path); !errors.Is(err, syscall.EACCES) {
+			t.Fatalf("got %v, want EACCES", err)
+		}
+	})
+	t.Run("fault-free loads", func(t *testing.T) {
+		ds, err := loadSnapshotFileVFS(vfs.NewFaultFS(vfs.OS()), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Len() != 200 {
+			t.Fatalf("loaded %d records, want 200", ds.Len())
+		}
+	})
+}
+
+// TestLoadSnapshotFileTruncationBattery truncates the on-disk v2 file at
+// a sweep of boundaries — including every section edge the format defines
+// — and proves each load fails with a typed snapshot error through both
+// the real mmap path and the vfs path.
+func TestLoadSnapshotFileTruncationBattery(t *testing.T) {
+	path, data := writeV2Fixture(t)
+	cuts := map[string]int{
+		"empty":         0,
+		"mid-magic":     4,
+		"post-version":  12,
+		"mid-header":    60,
+		"post-header":   116,
+		"mid-points":    len(data) / 3,
+		"mid-directory": 2 * len(data) / 3,
+		"pre-trailer":   len(data) - 4,
+		"off-by-one":    len(data) - 1,
+	}
+	dir := t.TempDir()
+	for name, cut := range cuts {
+		t.Run(name, func(t *testing.T) {
+			tp := filepath.Join(dir, fmt.Sprintf("trunc-%d.snap", cut))
+			if err := os.WriteFile(tp, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ds, err := LoadSnapshotFile(tp)
+			if err == nil {
+				ds.Close()
+				t.Fatal("truncated snapshot loaded via mmap path")
+			}
+			// The empty file is rejected before it can be mapped; every
+			// other cut must surface a typed snapshot error.
+			if cut != 0 && !errors.Is(err, snapshot.ErrInvalid) {
+				t.Fatalf("mmap path: got %v, want a typed snapshot error", err)
+			}
+			if _, err := loadSnapshotFileVFS(vfs.NewFaultFS(vfs.OS()), tp); !errors.Is(err, snapshot.ErrInvalid) {
+				t.Fatalf("vfs path: got %v, want a typed snapshot error", err)
+			}
+		})
+	}
+	_ = path
+}
+
+// TestLoadSnapshotFileBitFlipBattery flips a spread of bits across the
+// file — header fields, the fingerprint, points, directory entries, page
+// payloads, the trailer — and proves the validation contract: everything
+// up to the pages section is caught typed by the mmap fast path (whose
+// zero-copy serving depends on it), while page-payload and trailer-CRC
+// corruption — which the fast path defers by design — is caught typed by
+// the full heap decode. No flip anywhere crashes or loads untyped.
+func TestLoadSnapshotFileBitFlipBattery(t *testing.T) {
+	_, data := writeV2Fixture(t)
+	// pagesOff lives at header offset 88; every byte before it is covered
+	// by the header, directory or points CRCs that Open verifies.
+	pagesOff := int(binary.LittleEndian.Uint64(data[88:]))
+	dir := t.TempDir()
+	// A dense sweep is O(file bytes × load); sample every 97th byte plus
+	// the structurally critical header offsets.
+	offsets := []int{8, 12, 16, 20, 24, 40, 56, 72, 88, 104, 108}
+	for off := 0; off < len(data); off += 97 {
+		offsets = append(offsets, off)
+	}
+	offsets = append(offsets, pagesOff, len(data)-1)
+	for _, off := range offsets {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		tp := filepath.Join(dir, fmt.Sprintf("flip-%d.snap", off))
+		if err := os.WriteFile(tp, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if off < pagesOff {
+			ds, err := LoadSnapshotFile(tp)
+			if err == nil {
+				ds.Close()
+				t.Fatalf("byte %d flipped and the snapshot still mmap-loaded", off)
+			}
+			if !errors.Is(err, snapshot.ErrInvalid) && !errors.Is(err, ErrSnapshotMismatch) {
+				t.Fatalf("byte %d: mmap path got untyped error %v", off, err)
+			}
+		}
+		// The full decode must catch every flip, page payloads included.
+		_, err := LoadSnapshotFile(tp, WithMmap(false))
+		if err == nil {
+			t.Fatalf("byte %d flipped and the snapshot still heap-loaded", off)
+		}
+		if !errors.Is(err, snapshot.ErrInvalid) && !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("byte %d: heap path got untyped error %v", off, err)
+		}
+		os.Remove(tp)
+	}
+}
